@@ -1,0 +1,87 @@
+// Package pushpull's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper, each re-running the corresponding
+// experiment end to end (workload generation is cached across iterations).
+// Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Scale is deliberately small so the full sweep completes in minutes; use
+// cmd/pushpull for the full-scale regeneration.
+package pushpull
+
+import (
+	"io"
+	"testing"
+
+	"pushpull/internal/harness"
+)
+
+// benchConfig is the shared small-scale configuration.
+func benchConfig() harness.Config {
+	return harness.Config{Threads: 0, Scale: 0.1, Seed: 42, Out: io.Discard}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := benchConfig()
+	// Warm the workload cache outside the timed region.
+	if err := e.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_Stats regenerates the graph-suite statistics table.
+func BenchmarkTable2_Stats(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable1_Counters regenerates the hardware-counter table on the
+// simulated Sandy Bridge hierarchy (PR, TC, BGC, SSSP-Δ push/pull/+PA).
+func BenchmarkTable1_Counters(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable3_PR_TC regenerates the PR time-per-iteration and TC
+// total-time rows.
+func BenchmarkTable3_PR_TC(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4_Machines regenerates the cross-machine PR model table.
+func BenchmarkTable4_Machines(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig1_BGC regenerates the coloring per-iteration series.
+func BenchmarkFig1_BGC(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig2_SSSP regenerates the Δ-stepping series and Δ sweep.
+func BenchmarkFig2_SSSP(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3_DM regenerates the distributed strong-scaling series.
+func BenchmarkFig3_DM(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4_MST regenerates the Borůvka phase series.
+func BenchmarkFig4_MST(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5_BC regenerates the betweenness thread-scaling series.
+func BenchmarkFig5_BC(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6_Strategies regenerates the acceleration-strategy panel
+// (PR+PA times and BGC iteration counts).
+func BenchmarkFig6_Strategies(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkWeakScaling regenerates the §6 weak-scaling companion series.
+func BenchmarkWeakScaling(b *testing.B) { runExperiment(b, "weak") }
+
+// BenchmarkAblation regenerates the schedule and PA-partition ablations.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkPRAM_Primitives regenerates the §4 bound table and validates
+// the executable PRAM machine.
+func BenchmarkPRAM_Primitives(b *testing.B) { runExperiment(b, "pram") }
+
+// BenchmarkLA_SpMV regenerates the §7.1 CSR/CSC cross-check.
+func BenchmarkLA_SpMV(b *testing.B) { runExperiment(b, "la") }

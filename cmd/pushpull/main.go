@@ -1,0 +1,82 @@
+// Command pushpull regenerates any table or figure of the HPDC'17 paper
+// "To Push or To Pull: On Reducing Communication and Synchronization in
+// Graph Computations" from this reproduction.
+//
+// Usage:
+//
+//	pushpull [flags] <experiment-id>|all|list
+//
+//	pushpull table3            # PR and TC push-vs-pull times
+//	pushpull -t 8 -scale 2 fig1
+//	pushpull all               # every experiment, paper order
+//
+// Flags:
+//
+//	-t <n>      worker threads (default: GOMAXPROCS)
+//	-scale <f>  workload scale multiplier (default 1.0)
+//	-seed <n>   generator seed (default 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pushpull/internal/harness"
+)
+
+func main() {
+	threads := flag.Int("t", 0, "worker threads (0 = GOMAXPROCS)")
+	scale := flag.Float64("scale", 1.0, "workload scale multiplier")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := harness.Config{Threads: *threads, Scale: *scale, Seed: *seed, Out: os.Stdout}
+	arg := flag.Arg(0)
+	switch arg {
+	case "list":
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	case "all":
+		for _, e := range harness.All() {
+			if err := e.Run(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "pushpull: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	default:
+		e, ok := harness.ByID(arg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pushpull: unknown experiment %q (valid: %v, or 'all'/'list')\n",
+				arg, harness.IDs())
+			os.Exit(2)
+		}
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] <experiment-id>|all|list
+
+Regenerates the tables and figures of "To Push or To Pull" (HPDC'17).
+
+Experiments:
+`)
+	for _, e := range harness.All() {
+		fmt.Fprintf(os.Stderr, "  %-8s %-10s %s\n", e.ID, e.Paper, e.Title)
+	}
+	fmt.Fprintf(os.Stderr, "\nFlags:\n")
+	flag.PrintDefaults()
+}

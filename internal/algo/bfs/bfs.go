@@ -1,0 +1,268 @@
+// Package bfs implements the paper's generalized breadth-first search
+// (Algorithm 3): vertices carry *ready counters* and enter the frontier
+// once the counter reaches zero, and a caller-supplied accumulation
+// operator ⇐ merges values along traversed edges. Standard BFS is the
+// special case ready ≡ 1 with a "claim parent" operator; both phases of
+// Brandes betweenness centrality reuse the same engine with the ⇐pred and
+// ⇐part operators (Algorithm 5).
+//
+// The push variant (top-down) lets frontier vertices update their
+// neighbors — requiring O(m) atomics to resolve the write conflicts — and
+// pays a k-filter (frontier merge) per round. The pull variant (bottom-up
+// [4, 55]) lets every not-yet-ready vertex scan for frontier neighbors —
+// no write conflicts, but O(D·m) reads in the worst case (§4.3). Auto mode
+// is the direction-optimizing switch of Beamer et al. [4].
+package bfs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/frontier"
+	"pushpull/internal/graph"
+	"pushpull/internal/sched"
+)
+
+// Ops is the accumulation operator ⇐ of Algorithm 3.
+type Ops interface {
+	// PushCombine applies R[w] ⇐ R[v] where v is in the frontier. It may
+	// be called concurrently for the same w by different threads, so
+	// implementations must synchronize — this is exactly the conflict the
+	// paper charges to pushing.
+	PushCombine(w, v graph.V)
+	// PullCombine applies R[v] ⇐ R[w] where w is in the frontier and the
+	// executing thread owns v; no synchronization is needed.
+	PullCombine(v, w graph.V)
+}
+
+// EdgeFilter restricts traversal to a sub-DAG: an edge from → to is
+// traversed only if the filter returns true. A nil filter admits all edges
+// (plain BFS). Betweenness centrality uses filters to walk the
+// shortest-path DAG G′ (Algorithm 5, line 11).
+type EdgeFilter func(from, to graph.V) bool
+
+// Mode selects the traversal direction policy.
+type Mode int
+
+const (
+	// Auto switches per round with the direction-optimizing heuristic.
+	Auto Mode = iota
+	// ForcePush always explores top-down.
+	ForcePush
+	// ForcePull always explores bottom-up.
+	ForcePull
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case ForcePush:
+		return "push"
+	case ForcePull:
+		return "pull"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures one generalized-BFS run.
+type Config struct {
+	core.Options
+	// Ready holds the per-vertex ready counters (consumed destructively).
+	// Vertices whose counter is initially 0 form the first frontier.
+	Ready []int32
+	// Mode picks push, pull, or direction-optimizing traversal.
+	Mode Mode
+	// Filter optionally restricts edges (nil = all edges).
+	Filter EdgeFilter
+	// Heuristic overrides the switch parameters in Auto mode.
+	Heuristic frontier.SwitchHeuristic
+}
+
+// Run executes the generalized BFS, returning the number of rounds and
+// timing stats. Per-round times are recorded in the stats; the direction
+// chosen for each round is appended to the returned directions slice.
+func Run(g *graph.CSR, cfg *Config, ops Ops) (rounds int, dirs []core.Direction, stats core.RunStats) {
+	n := g.N()
+	if n == 0 || len(cfg.Ready) != n {
+		return 0, nil, stats
+	}
+	t := sched.Clamp(cfg.Threads, n)
+	h := cfg.Heuristic
+	if h.Alpha == 0 && h.Beta == 0 {
+		h = frontier.DefaultSwitch()
+	}
+
+	cur := frontier.NewSparse(64)
+	for v := graph.V(0); v < g.NumV; v++ {
+		if cfg.Ready[v] == 0 {
+			cur.Add(v)
+		}
+	}
+	perThread := frontier.NewPerThread(t)
+	inF := frontier.NewBitmap(n)
+	unexplored := g.M()
+
+	for cur.Len() > 0 {
+		start := time.Now()
+		usePull := false
+		switch cfg.Mode {
+		case ForcePull:
+			usePull = true
+		case ForcePush:
+			usePull = false
+		default:
+			usePull = h.UsePull(cur.EdgeWork(g), unexplored, cur.Len(), n)
+		}
+		unexplored -= cur.EdgeWork(g)
+
+		if usePull {
+			pullRound(g, cfg, ops, cur, perThread, inF, t)
+			dirs = append(dirs, core.Pull)
+		} else {
+			pushRound(g, cfg, ops, cur, perThread, t)
+			dirs = append(dirs, core.Push)
+		}
+		perThread.Merge(cur)
+		rounds++
+		el := time.Since(start)
+		stats.Record(el)
+		cfg.Tick(rounds-1, el)
+	}
+	return rounds, dirs, stats
+}
+
+// pushRound explores top-down. Combines and ready-notifications run in two
+// sub-steps (the lockstep separation the PRAM formulation implies), so a
+// late-combining thread can never observe an already-notified neighbor.
+func pushRound(g *graph.CSR, cfg *Config, ops Ops, cur *frontier.Sparse, out *frontier.PerThread, t int) {
+	verts := cur.Vertices()
+	// Sub-step 1: R[w] ⇐ R[v] for all frontier edges with ready[w] > 0.
+	sched.ParallelFor(len(verts), t, sched.Static, 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := verts[i]
+			for _, u := range g.Neighbors(v) {
+				if cfg.Filter != nil && !cfg.Filter(v, u) {
+					continue
+				}
+				if atomic.LoadInt32(&cfg.Ready[u]) > 0 {
+					ops.PushCombine(u, v)
+				}
+			}
+		}
+	})
+	// Sub-step 2: decrement ready counters; exactly the decrement that
+	// reaches zero enqueues the vertex (the k-filter of §4.3).
+	sched.ParallelFor(len(verts), t, sched.Static, 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := verts[i]
+			for _, u := range g.Neighbors(v) {
+				if cfg.Filter != nil && !cfg.Filter(v, u) {
+					continue
+				}
+				if atomic.AddInt32(&cfg.Ready[u], -1) == 0 {
+					out.Add(w, u)
+				}
+			}
+		}
+	})
+}
+
+// pullRound explores bottom-up: every vertex with a positive ready counter
+// scans its neighbors for frontier members; all state it modifies is its
+// own (t = t[v]), so no atomics are used anywhere.
+func pullRound(g *graph.CSR, cfg *Config, ops Ops, cur *frontier.Sparse, out *frontier.PerThread, inF *frontier.Bitmap, t int) {
+	inF.Clear()
+	inF.FromSparse(cur)
+	sched.ParallelFor(g.N(), t, sched.Static, 0, func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			if cfg.Ready[v] <= 0 {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				// The G′ edge direction is u → v: u pushes in the push
+				// formulation, so pulling asks filter(u, v).
+				if cfg.Filter != nil && !cfg.Filter(u, v) {
+					continue
+				}
+				if !inF.Get(u) {
+					continue
+				}
+				ops.PullCombine(v, u)
+				cfg.Ready[v]--
+				if cfg.Ready[v] == 0 {
+					out.Add(w, v)
+				}
+			}
+		}
+	})
+}
+
+// Tree is the result of a plain BFS traversal: a parent pointer and level
+// per vertex (−1 when unreached).
+type Tree struct {
+	Parent []graph.V
+	Level  []int32
+}
+
+// treeOps implements the standard-BFS accumulation: claim a parent once.
+type treeOps struct {
+	parent []int32 // atomic access; -1 = unclaimed
+	level  []int32
+}
+
+func (o *treeOps) PushCombine(w, v graph.V) {
+	if atomic.CompareAndSwapInt32(&o.parent[w], -1, int32(v)) {
+		atomic.StoreInt32(&o.level[w], atomic.LoadInt32(&o.level[v])+1)
+	}
+}
+
+func (o *treeOps) PullCombine(v, w graph.V) {
+	if o.parent[v] == -1 {
+		o.parent[v] = int32(w)
+		o.level[v] = o.level[w] + 1
+	}
+}
+
+// TraverseFrom runs a plain BFS from root in the given mode.
+func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tree, core.RunStats) {
+	n := g.N()
+	ops := &treeOps{parent: make([]int32, n), level: make([]int32, n)}
+	for i := range ops.parent {
+		ops.parent[i] = -1
+		ops.level[i] = -1
+	}
+	ready := make([]int32, n)
+	for i := range ready {
+		ready[i] = 1
+	}
+	if n > 0 {
+		ready[root] = 0
+		ops.parent[root] = int32(root)
+		ops.level[root] = 0
+	}
+	cfg := &Config{Options: opt, Ready: ready, Mode: mode}
+	_, _, stats := Run(g, cfg, ops)
+
+	tree := &Tree{Parent: make([]graph.V, n), Level: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		tree.Parent[i] = graph.V(ops.parent[i])
+		tree.Level[i] = ops.level[i]
+	}
+	return tree, stats
+}
+
+// Reached returns the number of visited vertices in the tree.
+func (t *Tree) Reached() int {
+	c := 0
+	for _, l := range t.Level {
+		if l >= 0 {
+			c++
+		}
+	}
+	return c
+}

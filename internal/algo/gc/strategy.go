@@ -1,0 +1,187 @@
+package gc
+
+import (
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/frontier"
+	"pushpull/internal/graph"
+	"pushpull/internal/sched"
+)
+
+// FrontierExploit runs the FE strategy of §5: a maximal independent set is
+// colored c₀ first; each iteration i colors the uncolored neighbors of the
+// current frontier with color cᵢ, resolving same-round conflicts by pushing
+// losers to fresh colors. The traversal-like structure touches only the
+// frontier's neighborhood per round instead of every vertex — the memory-
+// access reduction the strategy exists for.
+//
+// policy steers the run: core.NeverSwitch{} is plain FE, a
+// core.GenericSwitch adds GS (flip push↔pull when conflicts dominate), and
+// a core.GreedySwitch adds GrS (fall back to the sequential greedy scheme
+// for the remainder). dir is the starting direction.
+func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.SwitchPolicy) *Result {
+	opt.defaults()
+	if policy == nil {
+		policy = core.NeverSwitch{}
+	}
+	n := g.N()
+	res := &Result{Colors: make([]int32, n)}
+	res.Stats.Direction = dir
+	if n == 0 {
+		return res
+	}
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	t := sched.Clamp(opt.Threads, n)
+
+	// Round 0: greedy maximal independent set, colored c₀ = 0.
+	start := time.Now()
+	inF := frontier.NewBitmap(n)
+	var f []graph.V
+	for v := graph.V(0); v < g.NumV; v++ {
+		ok := true
+		for _, u := range g.Neighbors(v) {
+			if inF.Get(u) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			inF.SetSeq(v)
+			colors[v] = 0
+			f = append(f, v)
+		}
+	}
+	colored := len(f)
+	nextColor := int32(1)
+	res.Iterations++
+	res.Stats.Record(time.Since(start))
+	opt.Tick(0, res.Stats.PerIteration[0])
+
+	progress, conflicts := colored, 0
+	perThread := frontier.NewPerThread(t)
+	candMark := frontier.NewBitmap(n)
+
+	for colored < n && res.Iterations < opt.MaxIters {
+		start = time.Now()
+		switch policy.Decide(res.Iterations, progress, conflicts, n-colored) {
+		case core.SwitchDirection:
+			if dir == core.Push {
+				dir = core.Pull
+			} else {
+				dir = core.Push
+			}
+		case core.GoSequential:
+			// GrS: finish the small remainder with the optimized greedy
+			// scheme — one final "iteration".
+			greedyColorSubset(g, colors, nil)
+			colored = n
+			res.Iterations++
+			el := time.Since(start)
+			res.Stats.Record(el)
+			opt.Tick(res.Iterations-1, el)
+			continue
+		}
+
+		// Candidate discovery: push lets frontier vertices mark uncolored
+		// neighbors; pull lets uncolored vertices search for a frontier
+		// neighbor. Both produce the same candidate set with different
+		// access patterns (and only push needs the atomic claim).
+		candMark.Clear()
+		if dir == core.Push {
+			sched.ParallelFor(len(f), t, sched.Static, 0, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					for _, u := range g.Neighbors(f[i]) {
+						if colors[u] < 0 && candMark.Set(u) { // atomic claim
+							perThread.Add(w, u)
+						}
+					}
+				}
+			})
+		} else {
+			sched.ParallelFor(n, t, sched.Static, 0, func(w, lo, hi int) {
+				for vi := lo; vi < hi; vi++ {
+					v := graph.V(vi)
+					if colors[v] >= 0 {
+						continue
+					}
+					for _, u := range g.Neighbors(v) {
+						if inF.Get(u) {
+							candMark.SetSeq(v) // own vertex: no atomic
+							perThread.Add(w, v)
+							break
+						}
+					}
+				}
+			})
+		}
+		var cands frontier.Sparse
+		perThread.Merge(&cands)
+
+		// Deterministic conflict resolution among candidates: each takes
+		// cᵢ unless an already-resolved candidate neighbor holds it, then
+		// the smallest fresh color above cᵢ ("a color not used before").
+		ci := nextColor
+		maxUsed := ci - 1
+		conflicts = 0
+		for _, v := range cands.Vertices() {
+			c := ci
+		retry:
+			for _, u := range g.Neighbors(v) {
+				if colors[u] == c {
+					c++
+					conflicts++
+					goto retry
+				}
+			}
+			colors[v] = c
+			if c > maxUsed {
+				maxUsed = c
+			}
+		}
+		nextColor = maxUsed + 1
+		colored += cands.Len()
+		progress = cands.Len()
+
+		// New frontier = this round's candidates.
+		inF.Clear()
+		f = append(f[:0], cands.Vertices()...)
+		inF.FromSparse(&cands)
+
+		res.Iterations++
+		el := time.Since(start)
+		res.Stats.Record(el)
+		opt.Tick(res.Iterations-1, el)
+		if progress == 0 {
+			// No frontier-adjacent uncolored vertex remains (isolated
+			// leftovers); finish them greedily.
+			greedyColorSubset(g, colors, nil)
+			colored = n
+		}
+	}
+	copy(res.Colors, colors)
+	res.NumColors = CountColors(res.Colors)
+	return res
+}
+
+// GrS is the paper's Greedy-Switch configuration for coloring: FE with a
+// fallback to sequential greedy once fewer than fraction·n vertices remain
+// (the paper observes thrashing below 0.1·n, §5).
+func GrS(g *graph.CSR, opt Options, dir core.Direction, fraction float64) *Result {
+	if fraction <= 0 {
+		fraction = 0.1
+	}
+	return FrontierExploit(g, opt, dir, &core.GreedySwitch{Fraction: fraction, Total: g.N()})
+}
+
+// GS is the paper's Generic-Switch configuration: FE that flips direction
+// when the progress/conflict ratio of an iteration falls below threshold.
+func GS(g *graph.CSR, opt Options, dir core.Direction, threshold float64) *Result {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	return FrontierExploit(g, opt, dir, &core.GenericSwitch{Threshold: threshold})
+}

@@ -1,0 +1,144 @@
+package pr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/graph"
+	"pushpull/internal/rng"
+)
+
+// directedFixture builds a small DAG-ish directed graph.
+func directedFixture(t testing.TB, n int, edges int, seed uint64) *DirectedGraph {
+	t.Helper()
+	r := rng.New(seed)
+	b := graph.NewBuilder(n).Directed()
+	for i := 0; i < edges; i++ {
+		b.AddEdge(graph.V(r.Intn(n)), graph.V(r.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDirected(g)
+}
+
+func TestDirectedPushPullAgree(t *testing.T) {
+	dg := directedFixture(t, 500, 3000, 17)
+	opt := Options{Iterations: 15}
+	opt.Threads = 4
+	want := SequentialDirected(dg, opt)
+	push, sPush := PushDirected(dg, opt)
+	pull, sPull := PullDirected(dg, opt)
+	if d := MaxDiff(push, want); d > tol {
+		t.Fatalf("directed push diff %g", d)
+	}
+	if d := MaxDiff(pull, want); d > tol {
+		t.Fatalf("directed pull diff %g", d)
+	}
+	if sPush.Iterations != 15 || sPull.Iterations != 15 {
+		t.Fatal("iteration bookkeeping wrong")
+	}
+}
+
+func TestDirectedChain(t *testing.T) {
+	// 0 → 1 → 2: rank accumulates downstream; vertex 0 keeps only the
+	// base mass, vertex 2 gets the most.
+	b := graph.NewBuilder(3).Directed()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	dg := NewDirected(b.MustBuild())
+	ranks, _ := PullDirected(dg, Options{Iterations: 40})
+	if !(ranks[0] < ranks[1] && ranks[1] < ranks[2]) {
+		t.Fatalf("chain ranks not monotone: %v", ranks)
+	}
+	base := (1 - 0.85) / 3.0
+	if math.Abs(ranks[0]-base) > tol {
+		t.Fatalf("source rank = %v, want base %v", ranks[0], base)
+	}
+}
+
+func TestDirectedVsUndirectedConsistency(t *testing.T) {
+	// A symmetric directed graph (both arcs present) must match the
+	// undirected implementation exactly.
+	r := rng.New(5)
+	const n = 200
+	und := graph.NewBuilder(n)
+	dir := graph.NewBuilder(n).Directed()
+	for i := 0; i < 800; i++ {
+		u, v := graph.V(r.Intn(n)), graph.V(r.Intn(n))
+		und.AddEdge(u, v)
+		dir.AddEdge(u, v)
+		dir.AddEdge(v, u)
+	}
+	gu := und.MustBuild()
+	dg := NewDirected(dir.MustBuild())
+	opt := Options{Iterations: 12}
+	want := Sequential(gu, opt)
+	got, _ := PushDirected(dg, opt)
+	if d := MaxDiff(got, want); d > tol {
+		t.Fatalf("symmetric directed vs undirected diff %g", d)
+	}
+}
+
+func TestDirectedDanglingVertices(t *testing.T) {
+	// Sinks (no out-edges) absorb rank; sources keep base rank only.
+	b := graph.NewBuilder(4).Directed()
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	dg := NewDirected(b.MustBuild())
+	push, _ := PushDirected(dg, Options{Iterations: 10})
+	pull, _ := PullDirected(dg, Options{Iterations: 10})
+	if d := MaxDiff(push, pull); d > tol {
+		t.Fatalf("dangling diff %g", d)
+	}
+	if !(push[3] > push[0]) {
+		t.Fatalf("sink did not absorb rank: %v", push)
+	}
+}
+
+func TestDirectedEmpty(t *testing.T) {
+	dg := NewDirected(graph.NewBuilder(0).Directed().MustBuild())
+	if rks, _ := PushDirected(dg, Options{}); len(rks) != 0 {
+		t.Fatal("empty push")
+	}
+	if rks, _ := PullDirected(dg, Options{}); len(rks) != 0 {
+		t.Fatal("empty pull")
+	}
+}
+
+// Property: directed push == pull == sequential for random digraphs.
+func TestDirectedAgreementProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		dg := directedFixture(t, 120, 600, seed)
+		opt := Options{Iterations: 8}
+		opt.Threads = 3
+		want := SequentialDirected(dg, opt)
+		a, _ := PushDirected(dg, opt)
+		b, _ := PullDirected(dg, opt)
+		return MaxDiff(a, want) < tol && MaxDiff(b, want) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDirectedPush(b *testing.B) {
+	dg := directedFixture(b, 1<<12, 1<<15, 1)
+	opt := Options{Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PushDirected(dg, opt)
+	}
+}
+
+func BenchmarkDirectedPull(b *testing.B) {
+	dg := directedFixture(b, 1<<12, 1<<15, 1)
+	opt := Options{Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PullDirected(dg, opt)
+	}
+}

@@ -1,0 +1,258 @@
+// Package pr implements push- and pull-based PageRank (paper §3.1 and
+// Algorithm 1) plus the Partition-Awareness acceleration of §5 (Algorithm
+// 8).
+//
+// In the push variant, the thread owning v adds f·pr[v]/d(v) to new_pr[u]
+// for every neighbor u — a write conflict per edge, resolved with an atomic
+// CAS loop because CPUs have no float atomics (§4.1 charges these as
+// O(Lm) synchronization events). In the pull variant, the thread owning v
+// reads pr[u] and d(u) of every neighbor and accumulates privately — no
+// synchronization, but two random reads per edge instead of one random
+// write, which is exactly the cache-miss trade-off Table 1 reports.
+package pr
+
+import (
+	"math"
+	"time"
+
+	"pushpull/internal/atomicx"
+	"pushpull/internal/core"
+	"pushpull/internal/graph"
+	"pushpull/internal/sched"
+)
+
+// Options configures a PageRank run.
+type Options struct {
+	core.Options
+	// Iterations is the power-iteration count L (default 20).
+	Iterations int
+	// Damping is the damp factor f (default 0.85).
+	Damping float64
+}
+
+func (o *Options) defaults() {
+	if o.Iterations <= 0 {
+		o.Iterations = 20
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+}
+
+// Sequential computes the reference ranks with a single thread; push and
+// pull variants are cross-validated against it.
+func Sequential(g *graph.CSR, opt Options) []float64 {
+	opt.defaults()
+	n := g.N()
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	if n == 0 {
+		return pr
+	}
+	initRank := 1 / float64(n)
+	for i := range pr {
+		pr[i] = initRank
+	}
+	base := (1 - opt.Damping) / float64(n)
+	for l := 0; l < opt.Iterations; l++ {
+		for i := range next {
+			next[i] = base
+		}
+		for v := graph.V(0); v < g.NumV; v++ {
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			for _, u := range g.Neighbors(v) {
+				next[u] += c
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// Push runs the push-based variant: each vertex distributes its rank to its
+// neighbors through atomic float adds.
+func Push(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
+	opt.defaults()
+	n := g.N()
+	stats := core.RunStats{Direction: core.Push}
+	pr := make([]float64, n)
+	if n == 0 {
+		return pr, stats
+	}
+	t := sched.Clamp(opt.Threads, n)
+	initRank := 1 / float64(n)
+	for i := range pr {
+		pr[i] = initRank
+	}
+	nextBits := make([]uint64, n)
+	base := (1 - opt.Damping) / float64(n)
+	baseBits := math.Float64bits(base)
+	for l := 0; l < opt.Iterations; l++ {
+		start := time.Now()
+		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				nextBits[i] = baseBits
+			}
+		})
+		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
+			for vi := lo; vi < hi; vi++ {
+				v := graph.V(vi)
+				d := g.Degree(v)
+				if d == 0 {
+					continue
+				}
+				c := opt.Damping * pr[v] / float64(d)
+				for _, u := range g.Neighbors(v) {
+					atomicx.AddFloat64(&nextBits[u], c)
+				}
+			}
+		})
+		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pr[i] = math.Float64frombits(nextBits[i])
+			}
+		})
+		el := time.Since(start)
+		stats.Record(el)
+		opt.Tick(l, el)
+	}
+	return pr, stats
+}
+
+// Pull runs the pull-based variant: each vertex gathers f·pr[u]/d(u) from
+// its neighbors with no synchronization at all.
+func Pull(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
+	opt.defaults()
+	n := g.N()
+	stats := core.RunStats{Direction: core.Pull}
+	pr := make([]float64, n)
+	if n == 0 {
+		return pr, stats
+	}
+	t := sched.Clamp(opt.Threads, n)
+	initRank := 1 / float64(n)
+	for i := range pr {
+		pr[i] = initRank
+	}
+	next := make([]float64, n)
+	base := (1 - opt.Damping) / float64(n)
+	for l := 0; l < opt.Iterations; l++ {
+		start := time.Now()
+		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
+			for vi := lo; vi < hi; vi++ {
+				v := graph.V(vi)
+				sum := 0.0
+				for _, u := range g.Neighbors(v) {
+					du := g.Degree(u)
+					if du == 0 {
+						continue
+					}
+					sum += pr[u] / float64(du)
+				}
+				next[v] = base + opt.Damping*sum
+			}
+		})
+		pr, next = next, pr
+		el := time.Since(start)
+		stats.Record(el)
+		opt.Tick(l, el)
+	}
+	return pr, stats
+}
+
+// PushPA runs push-based PageRank with the Partition-Awareness strategy
+// (Algorithm 8): phase 1 updates same-owner neighbors with plain stores,
+// a barrier separates the phases, then phase 2 updates remote neighbors
+// with atomics. The number of atomics drops from 2m to the remote-edge
+// count of the PA layout.
+func PushPA(pa *graph.PAGraph, opt Options) ([]float64, core.RunStats) {
+	opt.defaults()
+	g := pa.G
+	n := g.N()
+	stats := core.RunStats{Direction: core.Push}
+	pr := make([]float64, n)
+	if n == 0 {
+		return pr, stats
+	}
+	t := pa.Part.P
+	initRank := 1 / float64(n)
+	for i := range pr {
+		pr[i] = initRank
+	}
+	nextBits := make([]uint64, n)
+	base := (1 - opt.Damping) / float64(n)
+	baseBits := math.Float64bits(base)
+	pool := sched.NewPool(t)
+	defer pool.Close()
+	barrier := sched.NewBarrier(t)
+	for l := 0; l < opt.Iterations; l++ {
+		start := time.Now()
+		pool.Run(func(w int) {
+			lo, hi := pa.Part.Range(w)
+			for i := lo; i < hi; i++ {
+				nextBits[i] = baseBits
+			}
+			barrier.Wait()
+			// Phase 1: local updates, no atomics. Only thread w writes
+			// vertices owned by w, so plain read-modify-write is safe.
+			for v := lo; v < hi; v++ {
+				d := g.Degree(v)
+				if d == 0 {
+					continue
+				}
+				c := opt.Damping * pr[v] / float64(d)
+				for _, u := range pa.Local(v) {
+					nextBits[u] = math.Float64bits(math.Float64frombits(nextBits[u]) + c)
+				}
+			}
+			// The lightweight barrier of Algorithm 8, line 10.
+			barrier.Wait()
+			// Phase 2: remote updates with atomics.
+			for v := lo; v < hi; v++ {
+				d := g.Degree(v)
+				if d == 0 {
+					continue
+				}
+				c := opt.Damping * pr[v] / float64(d)
+				for _, u := range pa.Remote(v) {
+					atomicx.AddFloat64(&nextBits[u], c)
+				}
+			}
+			barrier.Wait()
+			for i := lo; i < hi; i++ {
+				pr[i] = math.Float64frombits(nextBits[i])
+			}
+		})
+		el := time.Since(start)
+		stats.Record(el)
+		opt.Tick(l, el)
+	}
+	return pr, stats
+}
+
+// MaxDiff returns the maximum absolute element difference between two rank
+// vectors — the cross-validation metric.
+func MaxDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Sum returns the total rank mass (≈1 for graphs without isolated or
+// dangling vertices).
+func Sum(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

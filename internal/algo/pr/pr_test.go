@@ -1,0 +1,309 @@
+package pr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
+	"pushpull/internal/gen"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+)
+
+const tol = 1e-9
+
+func testGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPushMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 15}
+	opt.Threads = 4
+	want := Sequential(g, opt)
+	got, stats := Push(g, opt)
+	if d := MaxDiff(got, want); d > tol {
+		t.Fatalf("push vs sequential: max diff %g", d)
+	}
+	if stats.Iterations != 15 || stats.Direction != core.Push {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPullMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 15}
+	opt.Threads = 4
+	want := Sequential(g, opt)
+	got, stats := Pull(g, opt)
+	if d := MaxDiff(got, want); d > tol {
+		t.Fatalf("pull vs sequential: max diff %g", d)
+	}
+	if stats.Direction != core.Pull {
+		t.Fatalf("direction = %v", stats.Direction)
+	}
+}
+
+func TestPushPAMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 15}
+	for _, p := range []int{1, 2, 4, 7} {
+		pa := graph.BuildPA(g, graph.NewPartition(g.N(), p))
+		want := Sequential(g, opt)
+		got, _ := PushPA(pa, opt)
+		if d := MaxDiff(got, want); d > tol {
+			t.Fatalf("P=%d: push+PA vs sequential: max diff %g", p, d)
+		}
+	}
+}
+
+func TestRankMassConserved(t *testing.T) {
+	// On a connected graph with no zero-degree vertices, total rank ≈ 1.
+	g := gen.Ring(1000)
+	opt := Options{Iterations: 30}
+	ranks := Sequential(g, opt)
+	if s := Sum(ranks); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("rank mass = %v", s)
+	}
+	// Ring symmetry: every rank equals 1/n.
+	for i, r := range ranks {
+		if math.Abs(r-1.0/1000) > 1e-12 {
+			t.Fatalf("rank[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestStarRanks(t *testing.T) {
+	// On a star, the center must accumulate far more rank than leaves.
+	g := gen.Star(101)
+	ranks := Sequential(g, Options{Iterations: 50})
+	if ranks[0] < 10*ranks[1] {
+		t.Fatalf("center %v vs leaf %v", ranks[0], ranks[1])
+	}
+	// All leaves identical.
+	for i := 2; i < 101; i++ {
+		if math.Abs(ranks[i]-ranks[1]) > 1e-12 {
+			t.Fatalf("leaf ranks differ: %v vs %v", ranks[i], ranks[1])
+		}
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	empty := graph.NewBuilder(0).MustBuild()
+	if r, _ := Push(empty, Options{}); len(r) != 0 {
+		t.Fatal("empty graph ranks")
+	}
+	if r, _ := Pull(empty, Options{}); len(r) != 0 {
+		t.Fatal("empty graph ranks")
+	}
+	// Isolated vertices keep base rank.
+	iso := graph.NewBuilder(3).MustBuild()
+	r, _ := Pull(iso, Options{Iterations: 5, Damping: 0.85})
+	base := (1 - 0.85) / 3.0
+	for _, x := range r {
+		if math.Abs(x-base) > tol {
+			t.Fatalf("isolated rank = %v, want %v", x, base)
+		}
+	}
+}
+
+func TestOnIterationHook(t *testing.T) {
+	g := gen.Ring(64)
+	var iters []int
+	opt := Options{Iterations: 5}
+	opt.OnIteration = func(i int, _ time.Duration) { iters = append(iters, i) }
+	Push(g, opt)
+	if len(iters) != 5 || iters[0] != 0 || iters[4] != 4 {
+		t.Fatalf("push iterations hook = %v", iters)
+	}
+	iters = nil
+	Pull(g, opt)
+	if len(iters) != 5 {
+		t.Fatalf("pull iterations hook = %v", iters)
+	}
+	iters = nil
+	pa := graph.BuildPA(g, graph.NewPartition(g.N(), 2))
+	PushPA(pa, opt)
+	if len(iters) != 5 {
+		t.Fatalf("PA iterations hook = %v", iters)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.Iterations != 20 || o.Damping != 0.85 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestPushPullEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(300, 4, seed)
+		if err != nil {
+			return false
+		}
+		opt := Options{Iterations: 10}
+		opt.Threads = 3
+		a, _ := Push(g, opt)
+		b, _ := Pull(g, opt)
+		return MaxDiff(a, b) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfiledVariantsMatchFast(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 5}
+	want := Sequential(g, opt)
+
+	prof, _ := core.CountingProfile(4)
+	got, err := PushProfiled(g, opt, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got, want); d > tol {
+		t.Fatalf("profiled push diff %g", d)
+	}
+
+	prof2, _ := core.CountingProfile(4)
+	got2, err := PullProfiled(g, opt, prof2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got2, want); d > tol {
+		t.Fatalf("profiled pull diff %g", d)
+	}
+
+	pa := graph.BuildPA(g, graph.NewPartition(g.N(), 4))
+	prof3, _ := core.CountingProfile(4)
+	got3, err := PushPAProfiled(pa, opt, prof3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got3, want); d > tol {
+		t.Fatalf("profiled push+PA diff %g", d)
+	}
+}
+
+// The central Table 1 shape: pushing issues ≈ L·2m atomics, pulling zero;
+// pulling reads more than pushing; PA strictly reduces atomics.
+func TestCounterShapes(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 3}
+	L := int64(3)
+	m2 := g.M() // directed slots = 2m
+
+	profPush, gPush := core.CountingProfile(4)
+	if _, err := PushProfiled(g, opt, profPush, nil); err != nil {
+		t.Fatal(err)
+	}
+	push := gPush.Report()
+
+	profPull, gPull := core.CountingProfile(4)
+	if _, err := PullProfiled(g, opt, profPull, nil); err != nil {
+		t.Fatal(err)
+	}
+	pull := gPull.Report()
+
+	if got := push.Get(counters.Atomics); got != L*m2 {
+		t.Fatalf("push atomics = %d, want %d", got, L*m2)
+	}
+	if got := pull.Get(counters.Atomics); got != 0 {
+		t.Fatalf("pull atomics = %d, want 0", got)
+	}
+	if pull.Get(counters.Reads) <= push.Get(counters.Reads) {
+		t.Fatalf("pull reads %d not > push reads %d",
+			pull.Get(counters.Reads), push.Get(counters.Reads))
+	}
+	if pull.Get(counters.Locks) != 0 || push.Get(counters.Locks) != 0 {
+		t.Fatal("PR variants must not take locks (CAS-float counted as atomics)")
+	}
+
+	pa := graph.BuildPA(g, graph.NewPartition(g.N(), 4))
+	profPA, gPA := core.CountingProfile(4)
+	if _, err := PushPAProfiled(pa, opt, profPA, nil); err != nil {
+		t.Fatal(err)
+	}
+	paRep := gPA.Report()
+	if got, want := paRep.Get(counters.Atomics), L*pa.RemoteEdges(); got != want {
+		t.Fatalf("PA atomics = %d, want %d", got, want)
+	}
+	if paRep.Get(counters.Atomics) >= push.Get(counters.Atomics) {
+		t.Fatal("PA did not reduce atomics")
+	}
+}
+
+// Cache-model shape from Table 1: pull suffers more L1 misses than push on
+// a dense power-law graph (two random arrays per edge vs one).
+func TestCacheMissShape(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 2}
+
+	machine := memsim.NewMachine(memsim.XeonE5SandyBridge(), 4)
+	prof := core.Profile{Threads: 4, Probes: machine.Probes()}
+	if _, err := PushProfiled(g, opt, prof, machine.Space()); err != nil {
+		t.Fatal(err)
+	}
+	pushMiss := machine.Report().Get(counters.L1Miss)
+
+	machine2 := memsim.NewMachine(memsim.XeonE5SandyBridge(), 4)
+	prof2 := core.Profile{Threads: 4, Probes: machine2.Probes()}
+	if _, err := PullProfiled(g, opt, prof2, machine2.Space()); err != nil {
+		t.Fatal(err)
+	}
+	pullMiss := machine2.Report().Get(counters.L1Miss)
+
+	if pullMiss <= pushMiss {
+		t.Fatalf("pull L1 misses %d not > push %d", pullMiss, pushMiss)
+	}
+}
+
+func TestProfiledValidation(t *testing.T) {
+	g := gen.Ring(10)
+	bad := core.Profile{Threads: 2, Probes: []counters.Probe{counters.NopProbe{}}}
+	if _, err := PushProfiled(g, Options{}, bad, nil); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	if _, err := PullProfiled(g, Options{}, bad, nil); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	g, _ := gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	opt := Options{Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Push(g, opt)
+	}
+}
+
+func BenchmarkPull(b *testing.B) {
+	g, _ := gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	opt := Options{Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pull(g, opt)
+	}
+}
+
+func BenchmarkPushPA(b *testing.B) {
+	g, _ := gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	pa := graph.BuildPA(g, graph.NewPartition(g.N(), 4))
+	opt := Options{Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PushPA(pa, opt)
+	}
+}

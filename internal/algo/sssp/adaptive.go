@@ -1,0 +1,233 @@
+package sssp
+
+import (
+	"math"
+	"time"
+
+	"pushpull/internal/atomicx"
+	"pushpull/internal/core"
+	"pushpull/internal/frontier"
+	"pushpull/internal/graph"
+	"pushpull/internal/sched"
+)
+
+// Adaptive runs Δ-stepping with per-inner-iteration direction switching —
+// the traversal push↔pull switching the paper credits with the highest
+// performance (§7.2, after Beamer [4] and Chakaravarthy [17]): relax the
+// current bucket by pushing while it is small, and switch to pulling when
+// the bucket's edge work approaches the scan cost of the unsettled
+// vertices, exactly the direction-optimizing trade-off of §4.4.
+//
+// The result matches Push, Pull and Dijkstra; Result.Dirs records the
+// direction chosen for every inner iteration.
+type AdaptiveResult struct {
+	*Result
+	Dirs []core.Direction
+}
+
+// Adaptive runs the switching Δ-stepping variant.
+func Adaptive(g *graph.CSR, opt Options) *AdaptiveResult {
+	n := g.N()
+	res := &AdaptiveResult{Result: &Result{Dist: make([]float64, n)}}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+	}
+	if n == 0 {
+		return res
+	}
+	delta := resolveDelta(g, opt.Delta)
+	t := sched.Clamp(opt.Threads, n)
+	h := frontier.DefaultSwitch()
+
+	distBits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range distBits {
+		distBits[i] = inf
+	}
+	atomicx.StoreFloat64(&distBits[opt.Source], 0)
+
+	buckets := [][]graph.V{{opt.Source}}
+	inRound := frontier.NewBitmap(n)
+	perThread := make([][]bucketInsert, t)
+	ensure := func(b int) {
+		for len(buckets) <= b {
+			buckets = append(buckets, nil)
+		}
+	}
+	// unsettled estimates the pull-side scan cost: vertices not yet below
+	// the current bucket boundary.
+	countUnsettled := func(b int) int64 {
+		var c int64
+		bound := float64(b) * delta
+		for v := 0; v < n; v++ {
+			if atomicx.LoadFloat64(&distBits[v]) > bound {
+				c++
+			}
+		}
+		return c
+	}
+
+	for b := 0; b < len(buckets); b++ {
+		cur := buckets[b]
+		buckets[b] = nil
+		if len(cur) == 0 {
+			continue
+		}
+		res.Epochs++
+		for itr := 0; len(cur) > 0; itr++ {
+			start := time.Now()
+			res.Inner++
+			// Direction decision: push relaxes only the bucket's edges;
+			// pull rescans every unsettled vertex's edges. Pull pays off
+			// only when the bucket already covers a large share of the
+			// remaining work.
+			bucketEdges := int64(0)
+			for _, v := range cur {
+				bucketEdges += g.Degree(v)
+			}
+			unsettled := countUnsettled(b)
+			usePull := h.UsePull(bucketEdges, unsettled*int64(g.AvgDegree()*2+1), len(cur), n)
+			if usePull {
+				res.Dirs = append(res.Dirs, core.Pull)
+				improved := adaptivePullRound(g, distBits, delta, b, cur, t)
+				// Route improvements exactly like the push merge: bucket-b
+				// reentrants continue the epoch, later buckets are queued.
+				inRound.Clear()
+				cur = cur[:0:0]
+				for _, v := range improved {
+					nb := int(atomicx.LoadFloat64(&distBits[v]) / delta)
+					if nb < b {
+						continue
+					}
+					if nb == b {
+						if inRound.Set(v) {
+							cur = append(cur, v)
+						}
+						continue
+					}
+					ensure(nb)
+					buckets[nb] = append(buckets[nb], v)
+				}
+			} else {
+				res.Dirs = append(res.Dirs, core.Push)
+				cur = adaptivePushRound(g, distBits, delta, b, cur, t, perThread, inRound, &buckets, ensure)
+			}
+			el := time.Since(start)
+			res.Stats.Record(el)
+			opt.Tick(res.Inner-1, el)
+		}
+	}
+	for i := range res.Dist {
+		res.Dist[i] = atomicx.LoadFloat64(&distBits[i])
+	}
+	return res
+}
+
+// bucketInsert records a relaxed vertex and its destination bucket.
+type bucketInsert struct {
+	b int
+	v graph.V
+}
+
+// adaptivePushRound relaxes the bucket's out-edges with atomic minima and
+// returns the refreshed current-bucket list.
+func adaptivePushRound(g *graph.CSR, distBits []uint64, delta float64, b int,
+	cur []graph.V, t int, perThread [][]bucketInsert, inRound *frontier.Bitmap,
+	buckets *[][]graph.V, ensure func(int)) []graph.V {
+
+	bucketOf := func(d float64) int { return int(d / delta) }
+	sched.ParallelFor(len(cur), t, sched.Static, 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := cur[i]
+			dv := atomicx.LoadFloat64(&distBits[v])
+			if bucketOf(dv) != b {
+				continue
+			}
+			ws := g.NeighborWeights(v)
+			for j, u := range g.Neighbors(v) {
+				we := 1.0
+				if ws != nil {
+					we = float64(ws[j])
+				}
+				nd := dv + we
+				if lowered, _ := atomicx.MinFloat64(&distBits[u], nd); lowered {
+					perThread[w] = append(perThread[w], bucketInsert{bucketOf(nd), u})
+				}
+			}
+		}
+	})
+	inRound.Clear()
+	next := cur[:0:0]
+	for w := 0; w < t; w++ {
+		for _, in := range perThread[w] {
+			nb := bucketOf(atomicx.LoadFloat64(&distBits[in.v]))
+			if nb < b {
+				continue
+			}
+			if nb == b {
+				if inRound.Set(in.v) {
+					next = append(next, in.v)
+				}
+				continue
+			}
+			ensure(nb)
+			(*buckets)[nb] = append((*buckets)[nb], in.v)
+		}
+		perThread[w] = perThread[w][:0]
+	}
+	return next
+}
+
+// adaptivePullRound relaxes by scanning unsettled vertices for bucket
+// members (no write conflicts) and returns every vertex whose distance
+// improved, regardless of which bucket it landed in.
+func adaptivePullRound(g *graph.CSR, distBits []uint64, delta float64, b int,
+	cur []graph.V, t int) []graph.V {
+
+	n := g.N()
+	bucketOf := func(d float64) int {
+		if math.IsInf(d, 1) {
+			return math.MaxInt32
+		}
+		return int(d / delta)
+	}
+	member := frontier.NewBitmap(n)
+	for _, v := range cur {
+		member.SetSeq(v)
+	}
+	out := frontier.NewPerThread(t)
+	sched.ParallelFor(n, t, sched.Static, 0, func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			dv := atomicx.LoadFloat64(&distBits[v])
+			if dv <= float64(b)*delta {
+				continue
+			}
+			ws := g.NeighborWeights(v)
+			best := dv
+			for j, u := range g.Neighbors(v) {
+				if !member.Get(u) {
+					continue
+				}
+				du := atomicx.LoadFloat64(&distBits[u])
+				if bucketOf(du) != b {
+					continue
+				}
+				we := 1.0
+				if ws != nil {
+					we = float64(ws[j])
+				}
+				if nd := du + we; nd < best {
+					best = nd
+				}
+			}
+			if best < dv {
+				atomicx.StoreFloat64(&distBits[v], best)
+				out.Add(w, v)
+			}
+		}
+	})
+	var merged frontier.Sparse
+	out.Merge(&merged)
+	return append([]graph.V(nil), merged.Vertices()...)
+}

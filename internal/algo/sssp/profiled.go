@@ -1,0 +1,226 @@
+package sssp
+
+import (
+	"math"
+
+	"pushpull/internal/core"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+)
+
+// Code regions for instruction-TLB modeling.
+const (
+	regionExpand = iota
+	regionScan
+)
+
+// PushProfiled runs a deterministic, instrumented push Δ-stepping. Event
+// accounting follows the paper's Table 1 conventions for SSSP-Δ: distance
+// relaxations are guarded by locks rather than atomics (float min-update,
+// §6.1 "Both push and pull variants use locks"); a lock is charged only
+// when the relaxed vertex belongs to another thread's partition — on road
+// networks with contiguous 1D partitions this makes push lock counts tiny,
+// exactly the rca column's shape.
+func PushProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.AddressSpace) (*Result, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{Dist: make([]float64, n)}
+	res.Stats.Direction = core.Push
+	dist := res.Dist
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if n == 0 {
+		return res, nil
+	}
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	offA := space.NewArray(n+1, 8)
+	adjA := space.NewArray(int(g.M()), 4)
+	wA := space.NewArray(int(g.M()), 4)
+	distA := space.NewArray(n, 8)
+	bktA := space.NewArray(n, 8)
+
+	part := graph.NewPartition(n, prof.Threads)
+	delta := resolveDelta(g, opt.Delta)
+	dist[opt.Source] = 0
+	bucketOf := func(d float64) int { return int(d / delta) }
+	buckets := [][]graph.V{{opt.Source}}
+	ensure := func(b int) {
+		for len(buckets) <= b {
+			buckets = append(buckets, nil)
+		}
+	}
+	for b := 0; b < len(buckets); b++ {
+		cur := buckets[b]
+		buckets[b] = nil
+		for len(cur) > 0 {
+			res.Inner++
+			var next []graph.V
+			for _, v := range cur {
+				owner := part.Owner(v)
+				p := prof.Probes[owner]
+				p.Exec(regionExpand)
+				p.Read(distA.Addr(int64(v)), 8)
+				dv := dist[v]
+				p.Branch(bucketOf(dv) != b)
+				if bucketOf(dv) != b {
+					continue
+				}
+				offs := g.Offsets[v]
+				p.Read(offA.Addr(int64(v)), 8)
+				ws := g.NeighborWeights(v)
+				for j, u := range g.Neighbors(v) {
+					p.Branch(true)
+					p.Read(adjA.Addr(offs+int64(j)), 4)
+					p.Read(wA.Addr(offs+int64(j)), 4)
+					we := 1.0
+					if ws != nil {
+						we = float64(ws[j])
+					}
+					nd := dv + we
+					p.Read(distA.Addr(int64(u)), 8) // R in Algorithm 4 line 17
+					p.Branch(nd < dist[u])
+					if nd >= dist[u] {
+						continue
+					}
+					if part.Owner(u) != owner {
+						p.Lock(distA.Addr(int64(u))) // cross-partition relax
+					}
+					p.Write(distA.Addr(int64(u)), 8) // W: d[w] = weight
+					p.Write(bktA.Addr(int64(u)), 8)
+					dist[u] = nd
+					nb := bucketOf(nd)
+					if nb == b {
+						next = append(next, u)
+					} else {
+						ensure(nb)
+						buckets[nb] = append(buckets[nb], u)
+					}
+				}
+			}
+			cur = next
+		}
+	}
+	return res, nil
+}
+
+// PullProfiled runs a deterministic, instrumented pull Δ-stepping: every
+// inner iteration rescans all unsettled vertices (the O((L/Δ)·m·l_Δ) reads
+// of §4.4) and each adopted relaxation is charged one lock for the shared
+// bucket-set insertion, reproducing the pull column's lock ≫ push shape.
+func PullProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.AddressSpace) (*Result, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{Dist: make([]float64, n)}
+	res.Stats.Direction = core.Pull
+	dist := res.Dist
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if n == 0 {
+		return res, nil
+	}
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	offA := space.NewArray(n+1, 8)
+	adjA := space.NewArray(int(g.M()), 4)
+	wA := space.NewArray(int(g.M()), 4)
+	distA := space.NewArray(n, 8)
+	actA := space.NewArray(n, 1)
+
+	part := graph.NewPartition(n, prof.Threads)
+	delta := resolveDelta(g, opt.Delta)
+	dist[opt.Source] = 0
+	bucketOf := func(d float64) int {
+		if math.IsInf(d, 1) {
+			return math.MaxInt32
+		}
+		return int(d / delta)
+	}
+	activeCur := make([]bool, n)
+	activeNext := make([]bool, n)
+	b := 0
+	for {
+		res.Epochs++
+		for itr := 0; ; itr++ {
+			res.Inner++
+			changed := false
+			for vi := 0; vi < n; vi++ {
+				v := graph.V(vi)
+				p := prof.Probes[part.Owner(v)]
+				p.Exec(regionScan)
+				p.Read(distA.Addr(int64(vi)), 8)
+				dv := dist[v]
+				p.Branch(dv <= float64(b)*delta)
+				if dv <= float64(b)*delta {
+					continue
+				}
+				offs := g.Offsets[v]
+				p.Read(offA.Addr(int64(vi)), 8)
+				ws := g.NeighborWeights(v)
+				best := dv
+				for j, u := range g.Neighbors(v) {
+					p.Branch(true)
+					p.Read(adjA.Addr(offs+int64(j)), 4)
+					p.Read(distA.Addr(int64(u)), 8) // R line 24/25
+					if bucketOf(dist[u]) != b {
+						continue
+					}
+					if itr > 0 {
+						p.Read(actA.Addr(int64(u)), 1) // R: active[w]
+						if !activeCur[u] {
+							continue
+						}
+					}
+					p.Read(wA.Addr(offs+int64(j)), 4)
+					we := 1.0
+					if ws != nil {
+						we = float64(ws[j])
+					}
+					if nd := dist[u] + we; nd < best {
+						best = nd
+					}
+				}
+				p.Branch(best < dv)
+				if best < dv {
+					p.Lock(distA.Addr(int64(vi))) // shared bucket-set insert
+					p.Write(distA.Addr(int64(vi)), 8)
+					dist[v] = best
+					if bucketOf(best) == b {
+						p.Write(actA.Addr(int64(vi)), 1)
+						activeNext[v] = true
+						changed = true
+					}
+				}
+			}
+			activeCur, activeNext = activeNext, activeCur
+			for i := range activeNext {
+				activeNext[i] = false
+			}
+			if !changed {
+				break
+			}
+		}
+		next := math.MaxInt32
+		for v := 0; v < n; v++ {
+			if nb := bucketOf(dist[v]); nb > b && nb < next {
+				next = nb
+			}
+		}
+		if next == math.MaxInt32 {
+			break
+		}
+		for i := range activeCur {
+			activeCur[i] = false
+		}
+		b = next
+	}
+	return res, nil
+}

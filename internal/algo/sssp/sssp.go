@@ -1,0 +1,341 @@
+// Package sssp implements push- and pull-based Δ-Stepping single-source
+// shortest paths (paper §3.4 and Algorithm 4, after Meyer & Sanders [42]).
+//
+// Vertices are grouped into buckets of width Δ by tentative distance and
+// buckets are processed in order; within an epoch the current bucket is
+// relaxed repeatedly until it stops changing. In the push variant a bucket
+// vertex relaxes its out-edges — concurrent distance lowering on shared
+// vertices, an atomic min (CAS loop) per improvement. In the pull variant
+// every unsettled vertex scans for neighbors in the current bucket and
+// relaxes itself privately — no write conflicts, but each inner iteration
+// rescans all unsettled vertices, the O((L/Δ)·m·l_Δ) reads of §4.4.
+package sssp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"pushpull/internal/atomicx"
+	"pushpull/internal/core"
+	"pushpull/internal/frontier"
+	"pushpull/internal/graph"
+	"pushpull/internal/sched"
+)
+
+// Options configures a Δ-stepping run.
+type Options struct {
+	core.Options
+	// Source is the source vertex.
+	Source graph.V
+	// Delta is the bucket width Δ; 0 picks max-weight/d̄, the standard
+	// heuristic.
+	Delta float64
+}
+
+// Result carries the distances and run metadata.
+type Result struct {
+	Dist   []float64
+	Epochs int // buckets processed
+	Inner  int // total inner (relaxation) iterations across epochs
+	Stats  core.RunStats
+}
+
+// resolveDelta applies the Δ heuristic.
+func resolveDelta(g *graph.CSR, delta float64) float64 {
+	if delta > 0 {
+		return delta
+	}
+	var maxW float32 = 1
+	for _, w := range g.Weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	d := g.AvgDegree()
+	if d < 1 {
+		d = 1
+	}
+	return float64(maxW) / d
+}
+
+// Dijkstra computes reference distances with a binary heap.
+func Dijkstra(g *graph.CSR, source graph.V) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[source] = 0
+	pq := &vheap{items: []vdist{{source, 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(vdist)
+		if it.d > dist[it.v] {
+			continue
+		}
+		ws := g.NeighborWeights(it.v)
+		for i, u := range g.Neighbors(it.v) {
+			w := 1.0
+			if ws != nil {
+				w = float64(ws[i])
+			}
+			if nd := it.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, vdist{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type vdist struct {
+	v graph.V
+	d float64
+}
+
+type vheap struct{ items []vdist }
+
+func (h *vheap) Len() int           { return len(h.items) }
+func (h *vheap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *vheap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vheap) Push(x interface{}) { h.items = append(h.items, x.(vdist)) }
+func (h *vheap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Push runs push-based Δ-stepping: bucket vertices relax their edges
+// outward with atomic distance minimization.
+func Push(g *graph.CSR, opt Options) *Result {
+	n := g.N()
+	res := &Result{Dist: make([]float64, n)}
+	res.Stats.Direction = core.Push
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+	}
+	if n == 0 {
+		return res
+	}
+	delta := resolveDelta(g, opt.Delta)
+	t := sched.Clamp(opt.Threads, n)
+
+	distBits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range distBits {
+		distBits[i] = inf
+	}
+	atomicx.StoreFloat64(&distBits[opt.Source], 0)
+
+	bucketOf := func(d float64) int { return int(d / delta) }
+	buckets := [][]graph.V{{opt.Source}}
+	inRound := frontier.NewBitmap(n) // dedup within one merged round
+	type insert struct {
+		b int
+		v graph.V
+	}
+	perThread := make([][]insert, t)
+
+	ensure := func(b int) {
+		for len(buckets) <= b {
+			buckets = append(buckets, nil)
+		}
+	}
+
+	for b := 0; b < len(buckets); b++ {
+		cur := buckets[b]
+		buckets[b] = nil
+		if len(cur) == 0 {
+			continue
+		}
+		res.Epochs++
+		for itr := 0; len(cur) > 0; itr++ {
+			start := time.Now()
+			res.Inner++
+			sched.ParallelFor(len(cur), t, sched.Static, 0, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := cur[i]
+					dv := atomicx.LoadFloat64(&distBits[v])
+					if bucketOf(dv) != b {
+						continue // stale entry: v moved to an earlier bucket
+					}
+					ws := g.NeighborWeights(v)
+					for j, u := range g.Neighbors(v) {
+						we := 1.0
+						if ws != nil {
+							we = float64(ws[j])
+						}
+						nd := dv + we
+						if lowered, _ := atomicx.MinFloat64(&distBits[u], nd); lowered {
+							perThread[w] = append(perThread[w], insert{bucketOf(nd), u})
+						}
+					}
+				}
+			})
+			// Deterministic merge of the per-thread insertion buffers — the
+			// k-filter step. Re-inserts into bucket b continue the epoch.
+			inRound.Clear()
+			cur = cur[:0:0]
+			for w := 0; w < t; w++ {
+				for _, in := range perThread[w] {
+					// Re-derive the bucket from the final distance: a later
+					// relaxation may have lowered it further.
+					nb := bucketOf(atomicx.LoadFloat64(&distBits[in.v]))
+					if nb < b {
+						continue // already settled into an earlier bucket
+					}
+					if nb == b {
+						if inRound.Set(in.v) {
+							cur = append(cur, in.v)
+						}
+						continue
+					}
+					ensure(nb)
+					buckets[nb] = append(buckets[nb], in.v)
+				}
+				perThread[w] = perThread[w][:0]
+			}
+			el := time.Since(start)
+			res.Stats.Record(el)
+			opt.Tick(res.Inner-1, el)
+		}
+	}
+	for i := range res.Dist {
+		res.Dist[i] = atomicx.LoadFloat64(&distBits[i])
+	}
+	return res
+}
+
+// Pull runs pull-based Δ-stepping: each unsettled vertex scans for current-
+// bucket neighbors and relaxes itself. Distances live in a bit array
+// accessed with plain atomic loads/stores — memory fences only, not the
+// read-modify-write atomics pushing needs — so cross-partition reads of a
+// neighbor's in-flight distance are well-defined while the owner remains
+// the sole writer of its vertex, the pull invariant of §3.8.
+func Pull(g *graph.CSR, opt Options) *Result {
+	n := g.N()
+	res := &Result{Dist: make([]float64, n)}
+	res.Stats.Direction = core.Pull
+	if n == 0 {
+		return res
+	}
+	delta := resolveDelta(g, opt.Delta)
+	t := sched.Clamp(opt.Threads, n)
+	distBits := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range distBits {
+		distBits[i] = inf
+	}
+	atomicx.StoreFloat64(&distBits[opt.Source], 0)
+
+	bucketOf := func(d float64) int {
+		if math.IsInf(d, 1) {
+			return math.MaxInt32
+		}
+		return int(d / delta)
+	}
+	activeCur := make([]bool, n)
+	activeNext := make([]bool, n)
+	changed := make([]bool, t)
+
+	b := 0
+	for {
+		res.Epochs++
+		for itr := 0; ; itr++ {
+			start := time.Now()
+			res.Inner++
+			for i := range changed {
+				changed[i] = false
+			}
+			sched.ParallelFor(n, t, sched.Static, 0, func(w, lo, hi int) {
+				for vi := lo; vi < hi; vi++ {
+					v := graph.V(vi)
+					dv := atomicx.LoadFloat64(&distBits[v])
+					if dv <= float64(b)*delta {
+						continue // settled for this epoch
+					}
+					ws := g.NeighborWeights(v)
+					best := dv
+					for j, u := range g.Neighbors(v) {
+						du := atomicx.LoadFloat64(&distBits[u])
+						if bucketOf(du) != b {
+							continue
+						}
+						if itr > 0 && !activeCur[u] {
+							continue
+						}
+						we := 1.0
+						if ws != nil {
+							we = float64(ws[j])
+						}
+						if nd := du + we; nd < best {
+							best = nd
+						}
+					}
+					if best < dv {
+						// Owner-only write: a store, not a CAS.
+						atomicx.StoreFloat64(&distBits[v], best)
+						if bucketOf(best) == b {
+							activeNext[v] = true
+							changed[w] = true
+						}
+					}
+				}
+			})
+			activeCur, activeNext = activeNext, activeCur
+			for i := range activeNext {
+				activeNext[i] = false
+			}
+			el := time.Since(start)
+			res.Stats.Record(el)
+			opt.Tick(res.Inner-1, el)
+			any := false
+			for _, c := range changed {
+				any = any || c
+			}
+			if !any {
+				break
+			}
+		}
+		// Advance to the next non-empty bucket.
+		next := math.MaxInt32
+		for v := 0; v < n; v++ {
+			if nb := bucketOf(atomicx.LoadFloat64(&distBits[v])); nb > b && nb < next {
+				next = nb
+			}
+		}
+		if next == math.MaxInt32 {
+			break
+		}
+		// Vertices already in bucket `next` are the epoch's initial
+		// members; itr==0 treats them all as active.
+		for i := range activeCur {
+			activeCur[i] = false
+		}
+		b = next
+	}
+	for i := range res.Dist {
+		res.Dist[i] = atomicx.LoadFloat64(&distBits[i])
+	}
+	return res
+}
+
+// MaxDiff returns the largest absolute distance difference, treating a pair
+// of infinities as equal.
+func MaxDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		if math.IsInf(a[i], 1) && math.IsInf(b[i], 1) {
+			continue
+		}
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

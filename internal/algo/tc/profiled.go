@@ -1,0 +1,109 @@
+package tc
+
+import (
+	"pushpull/internal/core"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+	"pushpull/internal/sched"
+)
+
+// Code regions for instruction-TLB modeling.
+const (
+	regionScan = iota
+	regionUpdate
+)
+
+type arrays struct {
+	off, adj, tc memsim.Array
+}
+
+func modelArrays(g *graph.CSR, space *memsim.AddressSpace) arrays {
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	return arrays{
+		off: space.NewArray(g.N()+1, 8),
+		adj: space.NewArray(int(g.M()), 4),
+		tc:  space.NewArray(g.N(), 8),
+	}
+}
+
+// profiledRun executes Algorithm 2 literally — the nested w1/w2 pair loops
+// with a binary-search adjacency oracle — reporting every access to the
+// probes. push selects which counter the hit increments (tc[w1] with an
+// atomic vs. tc[v] with a private add).
+func profiledRun(g *graph.CSR, prof core.Profile, space *memsim.AddressSpace, push bool) ([]int64, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	a := modelArrays(g, space)
+	n := g.N()
+	tc := make([]int64, n)
+	sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionScan)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			p.Read(a.off.Addr(int64(vi)), 8)
+			adj := g.Neighbors(v)
+			offs := g.Offsets[v]
+			for i, w1 := range adj {
+				p.Branch(true) // w1 loop condition
+				p.Read(a.adj.Addr(offs+int64(i)), 4)
+				p.Read(a.off.Addr(int64(w1)), 8) // bounds of N(w1) for adj()
+				nw1 := g.Neighbors(w1)
+				w1off := g.Offsets[w1]
+				for j, w2 := range adj {
+					p.Branch(true) // w2 loop condition
+					p.Read(a.adj.Addr(offs+int64(j)), 4)
+					if w2 == w1 {
+						continue
+					}
+					// adj(w1, w2): binary search over N(w1); each probe is
+					// one random read of the adjacency array (the R mark).
+					lo2, hi2 := 0, len(nw1)
+					hit := false
+					for lo2 < hi2 {
+						mid := (lo2 + hi2) / 2
+						p.Read(a.adj.Addr(w1off+int64(mid)), 4)
+						p.Branch(nw1[mid] < w2)
+						if nw1[mid] == w2 {
+							hit = true
+							break
+						} else if nw1[mid] < w2 {
+							lo2 = mid + 1
+						} else {
+							hi2 = mid
+						}
+					}
+					if hit {
+						p.Exec(regionUpdate)
+						if push {
+							p.Atomic(a.tc.Addr(int64(w1)), 8) // W i: FAA
+							p.Jump()
+							tc[w1]++
+						} else {
+							p.Read(a.tc.Addr(int64(vi)), 8)
+							p.Write(a.tc.Addr(int64(vi)), 8) // private
+							tc[vi]++
+						}
+					}
+				}
+			}
+		}
+	})
+	for i := range tc {
+		tc[i] /= 2
+	}
+	return tc, nil
+}
+
+// PushProfiled runs the instrumented push variant.
+func PushProfiled(g *graph.CSR, prof core.Profile, space *memsim.AddressSpace) ([]int64, error) {
+	return profiledRun(g, prof, space, true)
+}
+
+// PullProfiled runs the instrumented pull variant.
+func PullProfiled(g *graph.CSR, prof core.Profile, space *memsim.AddressSpace) ([]int64, error) {
+	return profiledRun(g, prof, space, false)
+}

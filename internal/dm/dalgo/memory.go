@@ -1,0 +1,66 @@
+package dalgo
+
+import (
+	"fmt"
+
+	"pushpull/internal/graph"
+)
+
+// The paper's §6.3 "Memory Consumption" analysis, made executable: the
+// per-process auxiliary storage (beyond the adjacency structure) each
+// distributed variant needs, in bytes. These close the PR and TC
+// discussions — RMA PageRank needs O(1) extra memory while Msg-Passing may
+// buffer up to O(n·d̂/P); RMA TC trades one bulk get (O(d̂) staging) against
+// per-neighbor gets (O(1) staging, more messages).
+
+// MemEstimate is one variant's per-process auxiliary footprint.
+type MemEstimate struct {
+	Variant string
+	Bytes   int64
+	Formula string
+}
+
+// String formats the estimate.
+func (m MemEstimate) String() string {
+	return fmt.Sprintf("%-14s %12d B  (%s)", m.Variant, m.Bytes, m.Formula)
+}
+
+// PRMemory returns the §6.3.1 per-process estimates for distributed
+// PageRank over p ranks.
+func PRMemory(g *graph.CSR, p int) []MemEstimate {
+	if p < 1 {
+		p = 1
+	}
+	n := int64(g.N())
+	segment := (n + int64(p) - 1) / int64(p)
+	// MP buffers one (index, value) pair per distinct update target; the
+	// worst case is every neighbor of the rank's vertices: min(2m, n·d̂)/P.
+	worstPairs := g.M() / int64(p)
+	if worstPairs > n {
+		worstPairs = n
+	}
+	return []MemEstimate{
+		{"Pushing-RMA", 2 * 8, "O(1): window handles only"},
+		{"Pulling-RMA", 3 * 8, "O(1): window handles only"},
+		{"Msg-Passing", worstPairs * 12, "O(min(2m, n·d̂)/P) send/recv pairs"},
+		{"(window segs)", segment * 8 * 2, "pr + next segments, all variants"},
+	}
+}
+
+// TCMemory returns the §6.3.2 per-process estimates for distributed
+// triangle counting: the two RMA extremes for fetching neighbor lists plus
+// the MP update buffer.
+func TCMemory(g *graph.CSR, p int, flushThreshold int) []MemEstimate {
+	if p < 1 {
+		p = 1
+	}
+	if flushThreshold <= 0 {
+		flushThreshold = 4096
+	}
+	dhat := g.MaxDegree()
+	return []MemEstimate{
+		{"RMA bulk-get", dhat * 8, "O(d̂): one get fetches all of N(v)"},
+		{"RMA per-get", 8, "O(1): one neighbor per get, most messages"},
+		{"Msg-Passing", int64(flushThreshold) * 8 * int64(p), "flush buffers × P destinations"},
+	}
+}

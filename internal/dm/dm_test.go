@@ -1,0 +1,117 @@
+package dm
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, AriesCostModel()); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+}
+
+func TestRunExecutesAllRanks(t *testing.T) {
+	c, err := NewCluster(8, AriesCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen [8]atomic.Bool
+	if err := c.Run(func(r *Rank) { seen[r.ID].Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestSimulatedClockAndBarrier(t *testing.T) {
+	c, _ := NewCluster(4, AriesCostModel())
+	if err := c.Run(func(r *Rank) {
+		r.Charge(float64(r.ID) * 1000) // skewed clocks: 0, 1000, 2000, 3000
+		c.Barrier(r)
+		// After the barrier all clocks align to max + barrier cost.
+		want := 3000 + c.Cost.BarrierCost
+		if r.Clock() != want {
+			t.Errorf("rank %d clock = %v, want %v", r.ID, r.Clock(), want)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.SimTime() < 3000 {
+		t.Fatalf("SimTime = %v", c.SimTime())
+	}
+}
+
+func TestChargeOps(t *testing.T) {
+	c, _ := NewCluster(1, AriesCostModel())
+	c.Run(func(r *Rank) {
+		r.ChargeOps(10)
+		if r.Clock() != 10*c.Cost.LocalOp {
+			t.Errorf("clock = %v", r.Clock())
+		}
+	})
+}
+
+func TestFailureInjection(t *testing.T) {
+	c, _ := NewCluster(3, AriesCostModel())
+	err := c.Run(func(r *Rank) {
+		if r.ID == 1 {
+			panic("injected fault")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOwnerAndRange(t *testing.T) {
+	const n, p = 10, 3
+	covered := 0
+	for w := 0; w < p; w++ {
+		lo, hi := Range(n, p, w)
+		covered += hi - lo
+		for i := lo; i < hi; i++ {
+			if ownerOf(n, p, i) != w {
+				t.Fatalf("owner(%d) = %d, want %d", i, ownerOf(n, p, i), w)
+			}
+		}
+	}
+	if covered != n {
+		t.Fatalf("ranges cover %d", covered)
+	}
+	// Degenerate: more ranks than items.
+	lo, hi := Range(2, 5, 4)
+	if lo != hi {
+		t.Fatalf("empty range expected, got [%d,%d)", lo, hi)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, _ := NewCluster(2, AriesCostModel())
+	c.Run(func(r *Rank) {
+		r.Charge(50)
+		c.Barrier(r)
+	})
+	if c.SimTime() == 0 {
+		t.Fatal("no time recorded")
+	}
+	c.Reset()
+	if c.SimTime() != 0 {
+		t.Fatal("Reset did not clear sim time")
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	c, _ := NewCluster(4, AriesCostModel())
+	if err := c.Run(func(r *Rank) {
+		for i := 0; i < 100; i++ {
+			c.Barrier(r)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package frontier implements the frontier data structures of the paper's
+// traversal algorithms (§4.3): per-thread sparse frontiers merged into a
+// global next frontier (the my_F[1] ∪ … ∪ my_F[P] step of Algorithm 3,
+// costed as a k-filter in the PRAM analysis), an atomic bitmap frontier
+// for pull-based traversal, and the sparse↔dense conversion heuristic that
+// drives direction-optimizing switching [4].
+package frontier
+
+import (
+	"sync/atomic"
+
+	"pushpull/internal/graph"
+)
+
+// Sparse is a frontier as an explicit vertex list.
+type Sparse struct {
+	verts []graph.V
+}
+
+// NewSparse creates a sparse frontier with the given capacity hint.
+func NewSparse(capacity int) *Sparse {
+	return &Sparse{verts: make([]graph.V, 0, capacity)}
+}
+
+// FromSlice wraps vs (not copied) as a frontier.
+func FromSlice(vs []graph.V) *Sparse { return &Sparse{verts: vs} }
+
+// Add appends v.
+func (s *Sparse) Add(v graph.V) { s.verts = append(s.verts, v) }
+
+// Len returns the number of vertices in the frontier.
+func (s *Sparse) Len() int { return len(s.verts) }
+
+// Vertices returns the underlying slice.
+func (s *Sparse) Vertices() []graph.V { return s.verts }
+
+// Reset empties the frontier, keeping capacity.
+func (s *Sparse) Reset() { s.verts = s.verts[:0] }
+
+// EdgeWork returns the total degree of the frontier — the quantity the
+// direction-optimizing heuristic compares against the remaining edges.
+func (s *Sparse) EdgeWork(g *graph.CSR) int64 {
+	var w int64
+	for _, v := range s.verts {
+		w += g.Degree(v)
+	}
+	return w
+}
+
+// PerThread is the my_F array of Algorithm 3: one private frontier per
+// thread, merged after each iteration.
+type PerThread struct {
+	bufs [][]graph.V
+}
+
+// NewPerThread creates p private frontiers.
+func NewPerThread(p int) *PerThread {
+	return &PerThread{bufs: make([][]graph.V, p)}
+}
+
+// Threads returns the number of private frontiers.
+func (pt *PerThread) Threads() int { return len(pt.bufs) }
+
+// Add appends v to thread w's private frontier.
+func (pt *PerThread) Add(w int, v graph.V) { pt.bufs[w] = append(pt.bufs[w], v) }
+
+// LocalLen returns the size of thread w's private frontier.
+func (pt *PerThread) LocalLen(w int) int { return len(pt.bufs[w]) }
+
+// Merge concatenates all private frontiers into dst (reset first) in
+// thread order — the deterministic realization of the k-filter — and
+// clears the private buffers for the next iteration.
+func (pt *PerThread) Merge(dst *Sparse) {
+	dst.Reset()
+	for w := range pt.bufs {
+		dst.verts = append(dst.verts, pt.bufs[w]...)
+		pt.bufs[w] = pt.bufs[w][:0]
+	}
+}
+
+// TotalLen returns the summed size of all private frontiers.
+func (pt *PerThread) TotalLen() int {
+	n := 0
+	for _, b := range pt.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// Bitmap is a dense frontier with atomic insertion, used by pull-based
+// traversals where every unvisited vertex probes "is any neighbor in F?".
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap creates an empty bitmap over n vertices.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// N returns the bitmap's vertex capacity.
+func (b *Bitmap) N() int { return b.n }
+
+// Set marks v; it is safe for concurrent use and returns true if this call
+// changed the bit (i.e. the caller won the insertion race).
+func (b *Bitmap) Set(v graph.V) bool {
+	word := &b.words[v>>6]
+	mask := uint64(1) << (uint(v) & 63)
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// SetSeq marks v without atomics (single-writer phases).
+func (b *Bitmap) SetSeq(v graph.V) {
+	b.words[v>>6] |= uint64(1) << (uint(v) & 63)
+}
+
+// Get reports whether v is marked.
+func (b *Bitmap) Get(v graph.V) bool {
+	return b.words[v>>6]&(uint64(1)<<(uint(v)&63)) != 0
+}
+
+// Clear resets all bits.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += popcount(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set vertex in increasing order.
+func (b *Bitmap) ForEach(fn func(v graph.V)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := w & (-w)
+			idx := wi<<6 + trailingZeros(w)
+			if idx < b.n {
+				fn(graph.V(idx))
+			}
+			w ^= bit
+		}
+	}
+}
+
+// ToSparse converts the bitmap into a sparse frontier.
+func (b *Bitmap) ToSparse(dst *Sparse) {
+	dst.Reset()
+	b.ForEach(func(v graph.V) { dst.Add(v) })
+}
+
+// FromSparse sets every vertex of src (sequentially).
+func (b *Bitmap) FromSparse(src *Sparse) {
+	for _, v := range src.Vertices() {
+		b.SetSeq(v)
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func trailingZeros(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// SwitchHeuristic is the direction-optimizing policy of Beamer et al. [4]:
+// go bottom-up (pull) when the frontier's edge work exceeds remainingEdges/α
+// and back top-down (push) when the frontier shrinks below n/β.
+type SwitchHeuristic struct {
+	Alpha, Beta int64
+}
+
+// DefaultSwitch returns the published α=14, β=24 parameters.
+func DefaultSwitch() SwitchHeuristic { return SwitchHeuristic{Alpha: 14, Beta: 24} }
+
+// UsePull decides the direction for the next iteration given the frontier
+// edge work, the unexplored edge count, the frontier size and n.
+func (h SwitchHeuristic) UsePull(frontierEdges, unexploredEdges int64, frontierLen, n int) bool {
+	if h.Alpha <= 0 || h.Beta <= 0 {
+		return false
+	}
+	if frontierEdges > unexploredEdges/h.Alpha {
+		return true
+	}
+	return int64(frontierLen) > int64(n)/h.Beta && frontierEdges > unexploredEdges/(h.Alpha*2)
+}

@@ -1,0 +1,161 @@
+package gas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/algo/gc"
+	"pushpull/internal/algo/sssp"
+	"pushpull/internal/core"
+	"pushpull/internal/gen"
+	"pushpull/internal/graph"
+)
+
+const tol = 1e-9
+
+func weighted(t testing.TB, seed uint64) *graph.CSR {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 6, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.WithUniformWeights(g, 1, 20, seed+1)
+}
+
+func TestSSSPProgramMatchesDijkstra(t *testing.T) {
+	g := weighted(t, 3)
+	want := sssp.Dijkstra(g, 0)
+	for _, dir := range []core.Direction{core.Push, core.Pull} {
+		opt := core.Options{Threads: 4}
+		res := Run[float64, float64](g, SSSPProgram{Source: 0}, dir, opt, 0)
+		if len(res.Values) != g.N() {
+			t.Fatalf("%v: values length", dir)
+		}
+		for v, d := range res.Values {
+			if math.IsInf(want[v], 1) {
+				if !math.IsInf(d, 1) {
+					t.Fatalf("%v: dist[%d] = %v, want +Inf", dir, v, d)
+				}
+				continue
+			}
+			if math.Abs(d-want[v]) > tol {
+				t.Fatalf("%v: dist[%d] = %v, want %v", dir, v, d, want[v])
+			}
+		}
+		if res.Rounds == 0 {
+			t.Fatalf("%v: no rounds", dir)
+		}
+	}
+}
+
+func TestSSSPProgramPath(t *testing.T) {
+	g := gen.Path(30)
+	for _, dir := range []core.Direction{core.Push, core.Pull} {
+		res := Run[float64, float64](g, SSSPProgram{Source: 0}, dir, core.Options{}, 0)
+		for v := 0; v < 30; v++ {
+			if res.Values[v] != float64(v) {
+				t.Fatalf("%v: dist[%d] = %v", dir, v, res.Values[v])
+			}
+		}
+	}
+}
+
+func TestGCProgramValid(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9} {
+		g, err := gen.ErdosRenyi(150, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []core.Direction{core.Push, core.Pull} {
+			opt := core.Options{Threads: 4}
+			res := Run[int32, ColorSet](g, GCProgram{}, dir, opt, 10000)
+			colors := res.Values
+			if err := gc.Validate(g, colors); err != nil {
+				t.Fatalf("seed %d dir %v: %v (rounds=%d)", seed, dir, err, res.Rounds)
+			}
+		}
+	}
+}
+
+func TestGCProgramStar(t *testing.T) {
+	g := gen.Star(9)
+	res := Run[int32, ColorSet](g, GCProgram{}, core.Pull, core.Options{}, 1000)
+	if err := gc.Validate(g, res.Values); err != nil {
+		t.Fatal(err)
+	}
+	if gc.CountColors(res.Values) != 2 {
+		t.Fatalf("star colored with %d colors", gc.CountColors(res.Values))
+	}
+}
+
+func TestColorSet(t *testing.T) {
+	var s ColorSet
+	if s.Has(0) || s.Has(100) {
+		t.Fatal("empty set has members")
+	}
+	s = s.With(3).With(64)
+	if !s.Has(3) || !s.Has(64) || s.Has(4) {
+		t.Fatalf("set = %v", s)
+	}
+	u := s.Union(ColorSet(nil).With(1))
+	if !u.Has(1) || !u.Has(3) || !u.Has(64) {
+		t.Fatal("union wrong")
+	}
+	// Copy-on-write: original unchanged.
+	if s.Has(1) {
+		t.Fatal("With/Union mutated the receiver")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).MustBuild()
+	res := Run[float64, float64](g, SSSPProgram{}, core.Push, core.Options{}, 0)
+	if len(res.Values) != 0 || res.Rounds != 0 {
+		t.Fatal("empty graph did work")
+	}
+}
+
+func TestMaxRoundsCapsExecution(t *testing.T) {
+	g := gen.Ring(64)
+	res := Run[float64, float64](g, SSSPProgram{Source: 0}, core.Pull, core.Options{}, 2)
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2 (capped)", res.Rounds)
+	}
+}
+
+// Property: GAS SSSP matches Dijkstra in both directions on random
+// weighted graphs.
+func TestSSSPAgreementProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi(70, 3, seed)
+		if err != nil {
+			return false
+		}
+		g = gen.WithUniformWeights(g, 1, 9, seed+2)
+		want := sssp.Dijkstra(g, 0)
+		for _, dir := range []core.Direction{core.Push, core.Pull} {
+			res := Run[float64, float64](g, SSSPProgram{Source: 0}, dir, core.Options{Threads: 2}, 0)
+			for v := range want {
+				a, b := res.Values[v], want[v]
+				if math.IsInf(a, 1) && math.IsInf(b, 1) {
+					continue
+				}
+				if math.Abs(a-b) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGASSSSPPull(b *testing.B) {
+	g := weighted(b, 1)
+	for i := 0; i < b.N; i++ {
+		Run[float64, float64](g, SSSPProgram{Source: 0}, core.Pull, core.Options{}, 0)
+	}
+}

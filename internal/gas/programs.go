@@ -1,0 +1,113 @@
+package gas
+
+import (
+	"math"
+
+	"pushpull/internal/graph"
+)
+
+// SSSPProgram is the §7.4 shortest-path GAS program: gather proposes
+// d(u) + w(u,v), merge keeps the minimum, apply adopts improvements.
+type SSSPProgram struct {
+	Source graph.V
+}
+
+var _ Program[float64, float64] = SSSPProgram{}
+
+// Init implements Program: everyone starts at +∞; only the source is
+// scheduled, and its first Apply announces distance 0 (the change that
+// seeds the scatter wave).
+func (p SSSPProgram) Init(v graph.V) (float64, bool) {
+	return math.Inf(1), v == p.Source
+}
+
+// Gather implements Program.
+func (p SSSPProgram) Gather(u graph.V, uVal float64, w float32) float64 {
+	return uVal + float64(w)
+}
+
+// Merge implements Program.
+func (p SSSPProgram) Merge(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Program.
+func (p SSSPProgram) Apply(v graph.V, cur, acc float64, has bool) (float64, bool) {
+	if v == p.Source {
+		return 0, math.IsInf(cur, 1) // changed exactly once
+	}
+	if has && acc < cur {
+		return acc, true
+	}
+	return cur, false
+}
+
+// ColorSet is a growable bitset of colors used as the coloring program's
+// accumulator.
+type ColorSet []uint64
+
+// Has reports whether color c is in the set.
+func (s ColorSet) Has(c int32) bool {
+	w := int(c) >> 6
+	return w < len(s) && s[w]&(1<<(uint(c)&63)) != 0
+}
+
+// With returns the set extended by color c (copy-on-write).
+func (s ColorSet) With(c int32) ColorSet {
+	w := int(c) >> 6
+	out := make(ColorSet, maxInt(len(s), w+1))
+	copy(out, s)
+	out[w] |= 1 << (uint(c) & 63)
+	return out
+}
+
+// Union returns the union of two sets.
+func (s ColorSet) Union(o ColorSet) ColorSet {
+	out := make(ColorSet, maxInt(len(s), len(o)))
+	copy(out, s)
+	for i, w := range o {
+		out[i] |= w
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GCProgram is the §7.4 coloring GAS program: every vertex collects the
+// colors of its neighbors and recomputes the smallest free color; the new
+// color is scattered to the neighbors, conflicts reschedule (§7.4 notes
+// this is BGC with one vertex per partition).
+type GCProgram struct{}
+
+// Uncolored is the initial color value.
+const Uncolored int32 = -1
+
+var _ Program[int32, ColorSet] = GCProgram{}
+
+// Init implements Program: all vertices start uncolored and scheduled.
+func (GCProgram) Init(v graph.V) (int32, bool) { return Uncolored, true }
+
+// Gather implements Program: a neighbor contributes its color (nothing if
+// uncolored).
+func (GCProgram) Gather(u graph.V, uVal int32, w float32) ColorSet {
+	if uVal == Uncolored {
+		return nil
+	}
+	return ColorSet(nil).With(uVal)
+}
+
+// Merge implements Program.
+func (GCProgram) Merge(a, b ColorSet) ColorSet { return a.Union(b) }
+
+// Apply implements Program: adopt the smallest color outside the gathered
+// set; report change so neighbors revalidate.
+func (GCProgram) Apply(v graph.V, cur int32, acc ColorSet, has bool) (int32, bool) {
+	for c := int32(0); ; c++ {
+		if !acc.Has(c) {
+			return c, c != cur
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"pushpull/internal/graph"
+)
+
+// SuiteGraph names one workload of the reproduction suite: a synthetic
+// stand-in for a Table 2 dataset, at a size scaled to this environment.
+type SuiteGraph struct {
+	ID       string // paper's dataset id with a -sim suffix semantics
+	PaperID  string // the Table 2 id it stands in for
+	Kind     string // generator family
+	Describe string
+}
+
+// Suite lists the workloads in Table 2 order.
+func Suite() []SuiteGraph {
+	return []SuiteGraph{
+		{ID: "rmat", PaperID: "rmat", Kind: "kronecker", Describe: "R-MAT power-law (Graph500 parameters)"},
+		{ID: "orc", PaperID: "orc", Kind: "kronecker", Describe: "Orkut-class social network: high d̄, low D"},
+		{ID: "pok", PaperID: "pok", Kind: "kronecker", Describe: "Pokec-class social network: medium d̄, low D"},
+		{ID: "ljn", PaperID: "ljn", Kind: "community", Describe: "LiveJournal-class community graph: moderate d̄, low D"},
+		{ID: "am", PaperID: "am", Kind: "prefattach", Describe: "Amazon-class purchase network: low d̄, moderate D"},
+		{ID: "rca", PaperID: "rca", Kind: "roadgrid", Describe: "California-road-class network: d̄≈1.4, large D"},
+		{ID: "er", PaperID: "erdos-renyi", Kind: "erdos-renyi", Describe: "Erdős–Rényi uniform random graph"},
+	}
+}
+
+// Named builds the named suite graph at the given scale. scale is a
+// size multiplier: 1.0 is the default laptop-scale workload; experiments
+// shrink it for per-test speed. Unknown names return an error listing the
+// valid ids.
+func Named(name string, scale float64, seed uint64) (*graph.CSR, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	// sz scales a default dimension, with a floor to keep tiny scales valid.
+	sz := func(def int, min int) int {
+		v := int(float64(def) * scale)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	logsz := func(def int) int {
+		// Scale a power-of-two exponent: scale 0.5 drops one level at 0.25 two, etc.
+		d := def
+		for s := scale; s <= 0.5 && d > 4; s *= 2 {
+			d--
+		}
+		for s := scale; s >= 2 && d < 24; s /= 2 {
+			d++
+		}
+		return d
+	}
+	switch name {
+	case "rmat":
+		return RMAT(DefaultRMAT(logsz(16), 8, seed))
+	case "orc": // high average degree, low diameter
+		return RMAT(DefaultRMAT(logsz(14), 20, seed))
+	case "pok":
+		return RMAT(DefaultRMAT(logsz(14), 10, seed))
+	case "ljn":
+		return Community(sz(1<<15, 64), sz(256, 4), 7.0, 1.7, seed)
+	case "am":
+		return PrefAttach(sz(1<<15, 8), 2, seed)
+	case "rca":
+		side := sz(360, 8)
+		return RoadGrid(side, side, 0.72, seed)
+	case "er":
+		return ErdosRenyi(sz(1<<15, 16), 8, seed)
+	default:
+		ids := make([]string, 0, len(Suite()))
+		for _, s := range Suite() {
+			ids = append(ids, s.ID)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("gen: unknown suite graph %q (valid: %v)", name, ids)
+	}
+}
+
+// NamedWeighted builds a named suite graph and attaches symmetric uniform
+// weights in [1, 100) for the weighted-graph algorithms (SSSP, MST).
+func NamedWeighted(name string, scale float64, seed uint64) (*graph.CSR, error) {
+	g, err := Named(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return WithUniformWeights(g, 1, 100, seed+1), nil
+}

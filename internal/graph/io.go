@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g as a text edge list: a header line
+// "# pushpull n m weighted" followed by one "u v [w]" line per stored
+// undirected edge (u ≤ v). The format round-trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	weighted := 0
+	if g.Weighted() {
+		weighted = 1
+	}
+	if _, err := fmt.Fprintf(bw, "# pushpull %d %d %d\n", g.N(), g.UndirectedM(), weighted); err != nil {
+		return err
+	}
+	for v := V(0); v < g.NumV; v++ {
+		ws := g.NeighborWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if u < v {
+				continue // emit each undirected edge once
+			}
+			var err error
+			if ws != nil {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", v, u, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, so plain SNAP-style edge
+// lists load too as long as the first line declares the vertex count.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 4 || header[0] != "#" || header[1] != "pushpull" {
+		return nil, fmt.Errorf("graph: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[2])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count: %v", err)
+	}
+	b := NewBuilder(n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			b.AddEdgeW(V(u), V(v), float32(w))
+		} else {
+			b.AddEdge(V(u), V(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

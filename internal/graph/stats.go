@@ -1,0 +1,110 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph as in the paper's Table 2: vertex/edge counts,
+// average and maximum degree, an (estimated) diameter, and the number of
+// connected components.
+type Stats struct {
+	N          int
+	M          int64 // undirected edge count
+	AvgDeg     float64
+	MaxDeg     int64
+	Diameter   int // lower-bound estimate via double-sweep BFS
+	Components int
+}
+
+// String formats the stats as a Table 2 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d d̄=%.2f d̂=%d D≈%d cc=%d",
+		s.N, s.M, s.AvgDeg, s.MaxDeg, s.Diameter, s.Components)
+}
+
+// ComputeStats derives Stats for g. Diameter is estimated with the
+// double-sweep heuristic (a BFS from an arbitrary vertex, then a BFS from
+// the farthest vertex found; the second eccentricity lower-bounds D) run on
+// the largest component.
+func ComputeStats(g *CSR) Stats {
+	s := Stats{
+		N:      g.N(),
+		M:      g.UndirectedM(),
+		AvgDeg: g.AvgDegree(),
+		MaxDeg: g.MaxDegree(),
+	}
+	if g.N() == 0 {
+		return s
+	}
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []V
+	nComp := 0
+	largestRoot, largestSize := V(0), 0
+	for v := V(0); v < g.NumV; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		size := bfsComponent(g, v, int32(nComp), comp, &queue)
+		if size > largestSize {
+			largestSize, largestRoot = size, v
+		}
+		nComp++
+	}
+	s.Components = nComp
+	far, _ := bfsEccentricity(g, largestRoot)
+	_, ecc := bfsEccentricity(g, far)
+	s.Diameter = ecc
+	return s
+}
+
+// bfsComponent labels the component of root and returns its size.
+func bfsComponent(g *CSR, root V, id int32, comp []int32, scratch *[]V) int {
+	q := (*scratch)[:0]
+	q = append(q, root)
+	comp[root] = id
+	size := 1
+	for len(q) > 0 {
+		v := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, u := range g.Neighbors(v) {
+			if comp[u] < 0 {
+				comp[u] = id
+				size++
+				q = append(q, u)
+			}
+		}
+	}
+	*scratch = q
+	return size
+}
+
+// bfsEccentricity runs a level-synchronous BFS from root, returning the
+// last-visited vertex and its distance (root's eccentricity within its
+// component).
+func bfsEccentricity(g *CSR, root V) (far V, ecc int) {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	frontier := []V{root}
+	far = root
+	for len(frontier) > 0 {
+		var next []V
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					next = append(next, u)
+					if int(dist[u]) > ecc {
+						ecc = int(dist[u])
+						far = u
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return far, ecc
+}

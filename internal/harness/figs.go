@@ -1,0 +1,338 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pushpull/internal/algo/bc"
+	"pushpull/internal/algo/bfs"
+	"pushpull/internal/algo/gc"
+	"pushpull/internal/algo/mst"
+	"pushpull/internal/algo/pr"
+	"pushpull/internal/algo/sssp"
+	"pushpull/internal/core"
+	"pushpull/internal/dm"
+	"pushpull/internal/dm/dalgo"
+	"pushpull/internal/graph"
+)
+
+// Fig1 regenerates the coloring figure: per-iteration times of Pulling,
+// Pushing (Boman) and GrS (FE + Greedy-Switch) on the orc, ljn and rca
+// stand-ins, up to 50 iterations.
+func Fig1(cfg Config) error {
+	cfg.defaults()
+	header(cfg.Out, "Figure 1", "BGC time per iteration [ms]: Pulling vs Pushing vs GrS")
+	const maxShown = 50
+	for _, name := range []string{"orc", "ljn", "rca"} {
+		g, err := loadGraph(name, cfg, false)
+		if err != nil {
+			return err
+		}
+		part := graph.NewPartition(g.N(), cfg.Threads)
+		collect := func(run func(opt gc.Options) (*gc.Result, error)) ([]time.Duration, int, error) {
+			var per []time.Duration
+			opt := gc.Options{}
+			opt.Threads = cfg.Threads
+			opt.OnIteration = func(i int, d time.Duration) {
+				if i < maxShown {
+					per = append(per, d)
+				}
+			}
+			res, err := run(opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			return per, res.Iterations, nil
+		}
+		pull, pullIters, err := collect(func(opt gc.Options) (*gc.Result, error) { return gc.Pull(g, part, opt) })
+		if err != nil {
+			return err
+		}
+		push, pushIters, err := collect(func(opt gc.Options) (*gc.Result, error) { return gc.Push(g, part, opt) })
+		if err != nil {
+			return err
+		}
+		grs, grsIters, err := collect(func(opt gc.Options) (*gc.Result, error) {
+			opt.MaxIters = 4096
+			return gc.GrS(g, opt, core.Push, 0.1), nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%s (iterations to finish: pull=%d push=%d GrS=%d)\n",
+			name, pullIters, pushIters, grsIters)
+		fmt.Fprintf(cfg.Out, "%-5s %10s %10s %10s\n", "iter", "Pulling", "Pushing", "GrS")
+		rows := len(pull)
+		if len(push) > rows {
+			rows = len(push)
+		}
+		if len(grs) > rows {
+			rows = len(grs)
+		}
+		at := func(s []time.Duration, i int) string {
+			if i < len(s) {
+				return ms(s[i])
+			}
+			return "-"
+		}
+		for i := 0; i < rows; i++ {
+			fmt.Fprintf(cfg.Out, "%-5d %10s %10s %10s\n", i, at(pull, i), at(push, i), at(grs, i))
+		}
+	}
+	return nil
+}
+
+// Fig2 regenerates the Δ-stepping figure: per-iteration times for push and
+// pull on orc and am, plus the Δ sweep on orc showing the gap closing as Δ
+// grows.
+func Fig2(cfg Config) error {
+	cfg.defaults()
+	header(cfg.Out, "Figure 2", "SSSP-Δ per-iteration time [ms] and the Δ sweep")
+	const maxShown = 12
+	for _, name := range []string{"orc", "am"} {
+		g, err := loadGraph(name, cfg, true)
+		if err != nil {
+			return err
+		}
+		collect := func(run func(opt sssp.Options) *sssp.Result) []time.Duration {
+			var per []time.Duration
+			opt := sssp.Options{Source: 0}
+			opt.Threads = cfg.Threads
+			opt.OnIteration = func(i int, d time.Duration) {
+				if i < maxShown {
+					per = append(per, d)
+				}
+			}
+			run(opt)
+			return per
+		}
+		push := collect(func(opt sssp.Options) *sssp.Result { return sssp.Push(g, opt) })
+		pull := collect(func(opt sssp.Options) *sssp.Result { return sssp.Pull(g, opt) })
+		fmt.Fprintf(cfg.Out, "%s\n%-5s %10s %10s\n", name, "iter", "Pushing", "Pulling")
+		rows := len(push)
+		if len(pull) > rows {
+			rows = len(pull)
+		}
+		at := func(s []time.Duration, i int) string {
+			if i < len(s) {
+				return ms(s[i])
+			}
+			return "-"
+		}
+		for i := 0; i < rows; i++ {
+			fmt.Fprintf(cfg.Out, "%-5d %10s %10s\n", i, at(push, i), at(pull, i))
+		}
+	}
+	// Δ sweep (orc): total time per variant as Δ grows.
+	g, err := loadGraph("orc", cfg, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "Δ sweep (orc)\n%-10s %12s %12s\n", "Delta", "Pushing [ms]", "Pulling [ms]")
+	for _, delta := range []float64{5, 20, 80, 320, 1280, 5120} {
+		opt := sssp.Options{Source: 0, Delta: delta}
+		opt.Threads = cfg.Threads
+		push := sssp.Push(g, opt)
+		pull := sssp.Pull(g, opt)
+		fmt.Fprintf(cfg.Out, "%-10.0f %12s %12s\n", delta,
+			ms(push.Stats.Elapsed), ms(pull.Stats.Elapsed))
+	}
+	return nil
+}
+
+// Fig3 regenerates the distributed strong-scaling figure: simulated
+// makespan vs rank count for PR (orc, ljn, rmat) and TC (orc, ljn) with
+// Pushing-RMA, Pulling-RMA and Msg-Passing.
+func Fig3(cfg Config) error {
+	cfg.defaults()
+	header(cfg.Out, "Figure 3", "DM strong scaling (simulated makespan [ms] vs P)")
+	ranks := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	cost := dm.AriesCostModel()
+
+	prGraphs := []string{"orc", "ljn", "rmat"}
+	for _, name := range prGraphs {
+		g, err := loadGraph(name, cfg, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "PR, %s (per iteration)\n%-6s %14s %14s %14s\n",
+			name, "P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing")
+		const iters = 2
+		for _, p := range ranks {
+			if p > g.N() {
+				break
+			}
+			push, err := dalgo.PRPushRMA(g, dalgo.PRConfig{Ranks: p, Iterations: iters, Cost: cost})
+			if err != nil {
+				return err
+			}
+			pull, err := dalgo.PRPullRMA(g, dalgo.PRConfig{Ranks: p, Iterations: iters, Cost: cost})
+			if err != nil {
+				return err
+			}
+			msg, err := dalgo.PRMsgPassing(g, dalgo.PRConfig{Ranks: p, Iterations: iters, Cost: cost})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-6d %14.3f %14.3f %14.3f\n", p,
+				push.SimTime/iters/1e6, pull.SimTime/iters/1e6, msg.SimTime/iters/1e6)
+		}
+	}
+
+	tcCfgBase := cfg
+	tcCfgBase.Scale = cfg.Scale * 0.5
+	for _, name := range []string{"orc", "ljn"} {
+		g, err := loadGraph(name, tcCfgBase, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "TC, %s (total)\n%-6s %14s %14s %14s\n",
+			name, "P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing")
+		for _, p := range ranks {
+			if p > g.N() {
+				break
+			}
+			push, err := dalgo.TCPushRMA(g, dalgo.TCConfig{Ranks: p, Cost: cost})
+			if err != nil {
+				return err
+			}
+			pull, err := dalgo.TCPullRMA(g, dalgo.TCConfig{Ranks: p, Cost: cost})
+			if err != nil {
+				return err
+			}
+			msg, err := dalgo.TCMsgPassing(g, dalgo.TCConfig{Ranks: p, Cost: cost})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-6d %14.3f %14.3f %14.3f\n", p,
+				push.SimTime/1e6, pull.SimTime/1e6, msg.SimTime/1e6)
+		}
+	}
+
+	// The §6.3 memory-consumption analysis at a representative P.
+	const memP = 32
+	g, err := loadGraph("orc", cfg, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "per-process auxiliary memory at P=%d (§6.3):\n", memP)
+	for _, e := range dalgo.PRMemory(g, memP) {
+		fmt.Fprintf(cfg.Out, "  PR %s\n", e)
+	}
+	for _, e := range dalgo.TCMemory(g, memP, 0) {
+		fmt.Fprintf(cfg.Out, "  TC %s\n", e)
+	}
+	return nil
+}
+
+// Fig4 regenerates the MST phase figure: per-iteration times of the
+// Find-Minimum, Build-Merge-Tree and Merge phases, push vs pull.
+func Fig4(cfg Config) error {
+	cfg.defaults()
+	header(cfg.Out, "Figure 4", "Borůvka phases per iteration [ms], push vs pull")
+	g, err := loadGraph("orc", cfg, true)
+	if err != nil {
+		return err
+	}
+	opt := mst.Options{}
+	opt.Threads = cfg.Threads
+	push := mst.Boruvka(g, opt, core.Push)
+	pull := mst.Boruvka(g, opt, core.Pull)
+	fmt.Fprintf(cfg.Out, "%-5s %12s %12s %12s %12s %12s %12s\n", "iter",
+		"FM push", "FM pull", "BMT push", "BMT pull", "M push", "M pull")
+	rows := push.Iterations
+	if pull.Iterations > rows {
+		rows = pull.Iterations
+	}
+	at := func(s []time.Duration, i int) string {
+		if i < len(s) {
+			return ms(s[i])
+		}
+		return "-"
+	}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(cfg.Out, "%-5d %12s %12s %12s %12s %12s %12s\n", i,
+			at(push.PhaseFM, i), at(pull.PhaseFM, i),
+			at(push.PhaseBMT, i), at(pull.PhaseBMT, i),
+			at(push.PhaseM, i), at(pull.PhaseM, i))
+	}
+	fmt.Fprintf(cfg.Out, "total: push=%s ms pull=%s ms (weight %.1f, %d edges each)\n",
+		ms(push.Stats.Elapsed), ms(pull.Stats.Elapsed), push.TotalWeight, len(push.Edges))
+	return nil
+}
+
+// Fig5 regenerates the BC thread-scaling figure: first-BFS, second-BFS and
+// total runtimes for push and pull as threads grow.
+func Fig5(cfg Config) error {
+	cfg.defaults()
+	header(cfg.Out, "Figure 5", "BC runtimes [ms] vs threads (sampled sources)")
+	g, err := loadGraph("orc", cfg, false)
+	if err != nil {
+		return err
+	}
+	sources := []graph.V{0, 1, 2, 3, 4, 5, 6, 7}
+	fmt.Fprintf(cfg.Out, "%-8s %12s %12s %12s %12s %12s %12s\n", "threads",
+		"BFS1 push", "BFS1 pull", "BFS2 push", "BFS2 pull", "total push", "total pull")
+	for t := 1; t <= cfg.Threads; t *= 2 {
+		row := map[bfs.Mode]*bc.Result{}
+		for _, mode := range []bfs.Mode{bfs.ForcePush, bfs.ForcePull} {
+			opt := bc.Options{Sources: sources, Mode: mode}
+			opt.Threads = t
+			row[mode] = bc.Run(g, opt)
+		}
+		push, pull := row[bfs.ForcePush], row[bfs.ForcePull]
+		fmt.Fprintf(cfg.Out, "%-8d %12s %12s %12s %12s %12s %12s\n", t,
+			ms(push.Phase1), ms(pull.Phase1),
+			ms(push.Phase2), ms(pull.Phase2),
+			ms(push.Phase1+push.Phase2), ms(pull.Phase1+pull.Phase2))
+	}
+	return nil
+}
+
+// Fig6 regenerates the acceleration-strategy panel: (a) PR per-iteration
+// times for Push vs Push+PA vs Pull; (b) BGC iterations-to-finish for
+// Push, +FE, +GS, +GrS.
+func Fig6(cfg Config) error {
+	cfg.defaults()
+	header(cfg.Out, "Figure 6a", "PR time per iteration [ms]: Push vs Push+PA vs Pull")
+	fmt.Fprintf(cfg.Out, "%-8s %10s %10s %10s\n", "graph", "Push", "Push+PA", "Pull")
+	const iters = 10
+	for _, name := range workloadNames {
+		g, err := loadGraph(name, cfg, false)
+		if err != nil {
+			return err
+		}
+		opt := pr.Options{Iterations: iters}
+		opt.Threads = cfg.Threads
+		_, sPush := pr.Push(g, opt)
+		pa := graph.BuildPA(g, graph.NewPartition(g.N(), cfg.Threads))
+		_, sPA := pr.PushPA(pa, opt)
+		_, sPull := pr.Pull(g, opt)
+		fmt.Fprintf(cfg.Out, "%-8s %10s %10s %10s\n", name,
+			ms(sPush.AvgIteration()), ms(sPA.AvgIteration()), ms(sPull.AvgIteration()))
+	}
+
+	header(cfg.Out, "Figure 6b", "BGC iterations to finish: Push vs +FE vs +GS vs +GrS")
+	fmt.Fprintf(cfg.Out, "%-8s %8s %8s %8s %8s\n", "graph", "Push", "+FE", "+GS", "+GrS")
+	for _, name := range workloadNames {
+		g, err := loadGraph(name, cfg, false)
+		if err != nil {
+			return err
+		}
+		part := graph.NewPartition(g.N(), cfg.Threads)
+		opt := gc.Options{}
+		opt.Threads = cfg.Threads
+		push, err := gc.Push(g, part, opt)
+		if err != nil {
+			return err
+		}
+		feOpt := gc.Options{MaxIters: 4096}
+		feOpt.Threads = cfg.Threads
+		fe := gc.FrontierExploit(g, feOpt, core.Push, nil)
+		gs := gc.GS(g, feOpt, core.Push, 1.0)
+		grs := gc.GrS(g, feOpt, core.Push, 0.1)
+		fmt.Fprintf(cfg.Out, "%-8s %8d %8d %8d %8d\n", name,
+			push.Iterations, fe.Iterations, gs.Iterations, grs.Iterations)
+	}
+	return nil
+}

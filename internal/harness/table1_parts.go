@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"pushpull/internal/algo/gc"
+	"pushpull/internal/algo/sssp"
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+)
+
+// table1GC adds the BGC columns (per-iteration events on orc and rca).
+func table1GC(cfg Config, t int, add func(string, counters.Report, error) error) error {
+	for _, name := range []string{"orc", "rca"} {
+		g, err := loadGraph(name, cfg, false)
+		if err != nil {
+			return err
+		}
+		part := graph.NewPartition(g.N(), t)
+		opt := gc.Options{}
+		var iters int64 = 1
+		rep, err := table1Run(func(prof core.Profile, sp *memsim.AddressSpace) error {
+			res, err := gc.PushProfiled(g, part, opt, prof, sp)
+			if res != nil && res.Iterations > 0 {
+				iters = int64(res.Iterations)
+			}
+			return err
+		}, t, 1)
+		if err := add(name+" (BGC) Push", rep.Scale(iters), err); err != nil {
+			return err
+		}
+		iters = 1
+		rep, err = table1Run(func(prof core.Profile, sp *memsim.AddressSpace) error {
+			res, err := gc.PullProfiled(g, part, opt, prof, sp)
+			if res != nil && res.Iterations > 0 {
+				iters = int64(res.Iterations)
+			}
+			return err
+		}, t, 1)
+		if err := add(name+" (BGC) Pull", rep.Scale(iters), err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// table1SSSP adds the SSSP-Δ columns (total events on pok and rca).
+func table1SSSP(cfg Config, t int, add func(string, counters.Report, error) error) error {
+	for _, name := range []string{"pok", "rca"} {
+		g, err := loadGraph(name, cfg, true)
+		if err != nil {
+			return err
+		}
+		opt := sssp.Options{Source: 0}
+		rep, err := table1Run(func(prof core.Profile, sp *memsim.AddressSpace) error {
+			_, err := sssp.PushProfiled(g, opt, prof, sp)
+			return err
+		}, t, 1)
+		if err := add(name+" (SSSP) Push", rep, err); err != nil {
+			return err
+		}
+		rep, err = table1Run(func(prof core.Profile, sp *memsim.AddressSpace) error {
+			_, err := sssp.PullProfiled(g, opt, prof, sp)
+			return err
+		}, t, 1)
+		if err := add(name+" (SSSP) Pull", rep, err); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package la implements the linear-algebra graph abstraction of the
+// paper's §7.1: graph algorithms as matrix-vector products over semirings,
+// where the storage layout mirrors the push-pull dichotomy —
+//
+//   - CSR (rows = in-edges): y[i] combines contributions from x over row i;
+//     each output element is computed independently by one thread. This IS
+//     pulling: no write conflicts, but SpMSpV cannot exploit input
+//     sparsity (every row is scanned).
+//   - CSC (columns = out-edges): column j scatters x[j] into many y[i],
+//     requiring atomics or reduction trees to combine. This IS pushing:
+//     write conflicts, but a sparse input vector simply skips the zero
+//     columns — the frontier exploitation of traversals.
+//
+// PageRank, BFS and Bellman-Ford-style SSSP are expressed over the
+// arithmetic, boolean and tropical (min-plus) semirings and cross-validated
+// against the direct implementations in internal/algo.
+package la
+
+import (
+	"math"
+	"sync/atomic"
+
+	"pushpull/internal/atomicx"
+	"pushpull/internal/graph"
+	"pushpull/internal/sched"
+)
+
+// Semiring is an algebraic structure (S, ⊕, ⊗, 0̄, 1̄) over float64.
+type Semiring struct {
+	Name string
+	Add  func(a, b float64) float64 // ⊕: associative, commutative
+	Mul  func(a, b float64) float64 // ⊗
+	Zero float64                    // identity of ⊕, annihilator of ⊗
+	One  float64                    // identity of ⊗
+}
+
+// Arithmetic returns the standard (+, ×, 0, 1) semiring of PageRank.
+func Arithmetic() Semiring {
+	return Semiring{
+		Name: "arithmetic",
+		Add:  func(a, b float64) float64 { return a + b },
+		Mul:  func(a, b float64) float64 { return a * b },
+		Zero: 0,
+		One:  1,
+	}
+}
+
+// MinPlus returns the tropical (min, +, +∞, 0) semiring of shortest paths.
+func MinPlus() Semiring {
+	return Semiring{
+		Name: "min-plus",
+		Add:  math.Min,
+		Mul:  func(a, b float64) float64 { return a + b },
+		Zero: math.Inf(1),
+		One:  0,
+	}
+}
+
+// BoolOrAnd returns the boolean (∨, ∧, 0, 1) semiring of reachability,
+// encoded in float64 {0, 1}.
+func BoolOrAnd() Semiring {
+	return Semiring{
+		Name: "bool",
+		Add:  func(a, b float64) float64 { return math.Max(a, b) },
+		Mul:  func(a, b float64) float64 { return math.Min(a, b) },
+		Zero: 0,
+		One:  1,
+	}
+}
+
+// matVal returns the matrix entry for edge slot i of vertex v: the edge
+// weight for weighted graphs, 1̄ otherwise.
+func matVal(s Semiring, ws []float32, i int) float64 {
+	if ws == nil {
+		return s.One
+	}
+	return float64(ws[i])
+}
+
+// CSRMatVec computes y = A ⊗ x row by row — the pull formulation. Each
+// y[i] is owned by exactly one thread; no synchronization anywhere.
+func CSRMatVec(s Semiring, g *graph.CSR, x, y []float64, threads int) {
+	n := g.N()
+	sched.ParallelFor(n, sched.Clamp(threads, n), sched.Static, 0, func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			acc := s.Zero
+			ws := g.NeighborWeights(v)
+			for i, u := range g.Neighbors(v) {
+				acc = s.Add(acc, s.Mul(matVal(s, ws, i), x[u]))
+			}
+			y[vi] = acc
+		}
+	})
+}
+
+// CSCMatVec computes y = A ⊗ x column by column — the push formulation.
+// Concurrent combines into one y[i] are resolved with a CAS loop (the
+// atomics-or-reduction-tree cost of §7.1). y must be pre-filled with
+// s.Zero (use Fill) or carry prior state to combine into.
+func CSCMatVec(s Semiring, g *graph.CSR, x, y []float64, threads int) {
+	n := g.N()
+	bits := toBits(y)
+	sched.ParallelFor(n, sched.Clamp(threads, n), sched.Static, 0, func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			xv := x[vi]
+			if xv == s.Zero {
+				continue // ⊗ annihilator: the column contributes nothing
+			}
+			ws := g.NeighborWeights(v)
+			for i, u := range g.Neighbors(v) {
+				combineAtomic(s, &bits[u], s.Mul(matVal(s, ws, i), xv))
+			}
+		}
+	})
+	fromBits(y, bits)
+}
+
+// SparseVec is a sparse vector as parallel (index, value) slices.
+type SparseVec struct {
+	Idx []graph.V
+	Val []float64
+}
+
+// Len returns the number of stored entries.
+func (sv *SparseVec) Len() int { return len(sv.Idx) }
+
+// SpMSpVPush computes y = A ⊗ x for a sparse x using the CSC (push)
+// layout: only the columns matching stored entries are visited — "simply
+// ignoring columns of A that match up to zeros in x" (§7.1). It returns
+// the indices whose stored values changed.
+func SpMSpVPush(s Semiring, g *graph.CSR, x *SparseVec, y []float64, threads int) []graph.V {
+	bits := toBits(y)
+	t := sched.Clamp(threads, maxInt(x.Len(), 1))
+	touched := make([][]graph.V, t)
+	sched.ParallelFor(x.Len(), t, sched.Static, 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x.Idx[i]
+			xv := x.Val[i]
+			if xv == s.Zero {
+				continue
+			}
+			ws := g.NeighborWeights(v)
+			for j, u := range g.Neighbors(v) {
+				if combineAtomic(s, &bits[u], s.Mul(matVal(s, ws, j), xv)) {
+					touched[w] = append(touched[w], u)
+				}
+			}
+		}
+	})
+	fromBits(y, bits)
+	var out []graph.V
+	for _, tt := range touched {
+		out = append(out, tt...)
+	}
+	return out
+}
+
+// Fill sets every element to v.
+func Fill(y []float64, v float64) {
+	for i := range y {
+		y[i] = v
+	}
+}
+
+// combineAtomic applies y ⊕= v with a CAS retry loop; it reports whether
+// the stored value changed (used for frontier discovery in SpMSpV).
+func combineAtomic(s Semiring, addr *uint64, v float64) bool {
+	for {
+		old := atomicx.LoadFloat64(addr)
+		next := s.Add(old, v)
+		if next == old {
+			return false // no change (e.g. min-plus found no improvement)
+		}
+		if atomic.CompareAndSwapUint64(addr, math.Float64bits(old), math.Float64bits(next)) {
+			return true
+		}
+	}
+}
+
+// toBits snapshots a float vector into CAS-able cells.
+func toBits(y []float64) []uint64 {
+	bits := make([]uint64, len(y))
+	for i, v := range y {
+		bits[i] = math.Float64bits(v)
+	}
+	return bits
+}
+
+// fromBits copies the cells back into the float vector.
+func fromBits(y []float64, bits []uint64) {
+	for i, b := range bits {
+		y[i] = math.Float64frombits(b)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

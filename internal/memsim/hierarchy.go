@@ -1,0 +1,235 @@
+package memsim
+
+import (
+	"pushpull/internal/counters"
+)
+
+// MachineConfig bundles the cache and TLB geometry of one modeled machine.
+// L1, L2, DTLB and ITLB are private per thread; L3 is shared by all threads
+// of the machine, matching the Xeon parts used in the paper's testbeds.
+type MachineConfig struct {
+	Name string
+	L1   CacheConfig
+	L2   CacheConfig
+	L3   CacheConfig
+	DTLB TLBConfig
+	ITLB TLBConfig
+}
+
+// XeonE5SandyBridge models the Cray XC30 node CPU of the paper (Intel Xeon
+// E5-2670, Sandy Bridge): 32 KiB 8-way L1d, 256 KiB 8-way L2, 20 MiB 20-way
+// shared L3, 64-entry 4 KiB DTLB.
+func XeonE5SandyBridge() MachineConfig {
+	return MachineConfig{
+		Name: "XC30 (Xeon E5-2670)",
+		L1:   CacheConfig{Name: "L1d", Size: 32 << 10, Ways: 8, LineSize: 64},
+		L2:   CacheConfig{Name: "L2", Size: 256 << 10, Ways: 8, LineSize: 64},
+		L3:   CacheConfig{Name: "L3", Size: 20 << 20, Ways: 20, LineSize: 64},
+		DTLB: TLBConfig{Name: "DTLB", Entries: 64, PageSize: 4 << 10},
+		ITLB: TLBConfig{Name: "ITLB", Entries: 128, PageSize: 4 << 10},
+	}
+}
+
+// HaswellTrivium models the Trivium commodity server (Intel Core i7-4770,
+// Haswell): 32 KiB L1d, 256 KiB L2, 8 MiB 16-way shared L3 (§6, setup).
+func HaswellTrivium() MachineConfig {
+	return MachineConfig{
+		Name: "Trivium (i7-4770)",
+		L1:   CacheConfig{Name: "L1d", Size: 32 << 10, Ways: 8, LineSize: 64},
+		L2:   CacheConfig{Name: "L2", Size: 256 << 10, Ways: 8, LineSize: 64},
+		L3:   CacheConfig{Name: "L3", Size: 8 << 20, Ways: 16, LineSize: 64},
+		DTLB: TLBConfig{Name: "DTLB", Entries: 64, PageSize: 4 << 10},
+		ITLB: TLBConfig{Name: "ITLB", Entries: 128, PageSize: 4 << 10},
+	}
+}
+
+// Hierarchy is one thread's view of the memory system: private L1/L2/TLBs
+// plus a pointer to the machine-shared L3. Profiled runs drive threads in a
+// deterministic order, so the shared L3 needs no locking.
+type Hierarchy struct {
+	L1, L2 *Cache
+	L3     *Cache // shared across the machine's hierarchies
+	DTLB   *TLB
+	ITLB   *TLB
+
+	rec *counters.Recorder
+}
+
+// Machine owns the shared L3 and the per-thread hierarchies.
+type Machine struct {
+	cfg     MachineConfig
+	L3      *Cache
+	Threads []*Hierarchy
+	space   AddressSpace
+}
+
+// NewMachine builds a machine with t thread-private hierarchies.
+func NewMachine(cfg MachineConfig, t int) *Machine {
+	if t < 1 {
+		t = 1
+	}
+	m := &Machine{cfg: cfg, L3: NewCache(cfg.L3)}
+	m.Threads = make([]*Hierarchy, t)
+	for i := range m.Threads {
+		m.Threads[i] = &Hierarchy{
+			L1:   NewCache(cfg.L1),
+			L2:   NewCache(cfg.L2),
+			L3:   m.L3,
+			DTLB: NewTLB(cfg.DTLB),
+			ITLB: NewTLB(cfg.ITLB),
+			rec:  &counters.Recorder{},
+		}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() MachineConfig { return m.cfg }
+
+// Space returns the machine's address-space allocator.
+func (m *Machine) Space() *AddressSpace { return &m.space }
+
+// Probes returns one counters.Probe per thread, each feeding that thread's
+// hierarchy and recorder.
+func (m *Machine) Probes() []counters.Probe {
+	out := make([]counters.Probe, len(m.Threads))
+	for i, h := range m.Threads {
+		out[i] = &Probe{H: h}
+	}
+	return out
+}
+
+// Report aggregates the counters of all threads.
+func (m *Machine) Report() counters.Report {
+	recs := make([]*counters.Recorder, len(m.Threads))
+	for i, h := range m.Threads {
+		recs[i] = h.rec
+	}
+	return counters.Aggregate(recs)
+}
+
+// Reset clears all caches, TLBs and counters. The address space allocator
+// is preserved so modeled arrays keep their bases.
+func (m *Machine) Reset() {
+	m.L3.Reset()
+	for _, h := range m.Threads {
+		h.L1.Reset()
+		h.L2.Reset()
+		h.DTLB.Reset()
+		h.ITLB.Reset()
+		h.rec.Reset()
+	}
+}
+
+// data walks each cache line touched by [addr, addr+size) through the
+// hierarchy, recording one TLB access per touched page and per-level miss
+// events into the thread's recorder.
+func (h *Hierarchy) data(addr uint64, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	line := uint64(h.L1.LineSize())
+	page := uint64(h.DTLB.PageSize())
+	first := addr &^ (line - 1)
+	last := (addr + uint64(size) - 1) &^ (line - 1)
+	prevPage := ^uint64(0)
+	for a := first; ; a += line {
+		if pg := a &^ (page - 1); pg != prevPage {
+			prevPage = pg
+			if !h.DTLB.Access(a) {
+				h.rec.Inc(counters.TLBDataMiss)
+			}
+		}
+		if !h.L1.Access(a) {
+			h.rec.Inc(counters.L1Miss)
+			if !h.L2.Access(a) {
+				h.rec.Inc(counters.L2Miss)
+				if !h.L3.Access(a) {
+					h.rec.Inc(counters.L3Miss)
+				}
+			}
+		}
+		if a == last {
+			break
+		}
+	}
+}
+
+// exec models one instruction fetch in code region id.
+func (h *Hierarchy) exec(region int) {
+	const codeBase = uint64(1) << 47 // far from any data allocation
+	addr := codeBase + uint64(region)*uint64(h.ITLB.PageSize())
+	if !h.ITLB.Access(addr) {
+		h.rec.Inc(counters.TLBInstMiss)
+	}
+}
+
+// Probe adapts a Hierarchy to the counters.Probe interface: it both counts
+// the paper's software events (reads/writes/atomics/locks/branches) and
+// feeds the cache model.
+type Probe struct {
+	H *Hierarchy
+}
+
+var _ counters.Probe = (*Probe)(nil)
+
+func (p *Probe) Read(addr uint64, size int) {
+	p.H.rec.Inc(counters.Reads)
+	p.H.data(addr, size)
+}
+
+func (p *Probe) Write(addr uint64, size int) {
+	p.H.rec.Inc(counters.Writes)
+	p.H.data(addr, size)
+}
+
+func (p *Probe) Atomic(addr uint64, size int) {
+	p.H.rec.Inc(counters.Atomics)
+	p.H.data(addr, size)
+}
+
+func (p *Probe) Lock(addr uint64) {
+	p.H.rec.Inc(counters.Locks)
+	p.H.data(addr, 8)
+}
+
+func (p *Probe) Branch(taken bool) { p.H.rec.Inc(counters.BranchesCond) }
+func (p *Probe) Jump()             { p.H.rec.Inc(counters.BranchesUncond) }
+func (p *Probe) Exec(region int)   { p.H.exec(region) }
+
+// AddressSpace hands out page-aligned base addresses for modeled arrays.
+// The zero value is ready to use.
+type AddressSpace struct {
+	next uint64
+}
+
+// pageAlign is the allocation granularity (one 4 KiB page).
+const pageAlign = 4 << 10
+
+// Alloc reserves size bytes and returns the page-aligned base address.
+func (a *AddressSpace) Alloc(size uint64) uint64 {
+	if a.next == 0 {
+		a.next = pageAlign // keep 0 unused as a poison value
+	}
+	base := a.next
+	a.next += (size + pageAlign - 1) &^ uint64(pageAlign-1)
+	return base
+}
+
+// Array is a modeled array: a base address plus an element size, converting
+// indices to probe addresses.
+type Array struct {
+	Base uint64
+	Elem uint64
+}
+
+// NewArray allocates a modeled array of n elements of elem bytes each.
+func (a *AddressSpace) NewArray(n int, elem int) Array {
+	return Array{Base: a.Alloc(uint64(n) * uint64(elem)), Elem: uint64(elem)}
+}
+
+// Addr returns the modeled address of element i.
+func (ar Array) Addr(i int64) uint64 { return ar.Base + uint64(i)*ar.Elem }
+
+// Size returns the element size in bytes (for probe size arguments).
+func (ar Array) Size() int { return int(ar.Elem) }

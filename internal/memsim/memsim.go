@@ -1,0 +1,208 @@
+// Package memsim is a software model of a CPU memory hierarchy — set-
+// associative L1/L2/L3 caches with LRU replacement plus data and
+// instruction TLBs — used to reproduce the cache-miss and TLB-miss rows of
+// the paper's Table 1 without PAPI or hardware access.
+//
+// Profiled algorithm variants report every load/store through a
+// counters.Probe backed by a Hierarchy; the hierarchy walks the touched
+// cache lines through the levels and increments the corresponding
+// counters.Event on each miss. Addresses are synthetic: an AddressSpace
+// hands each modeled array a page-aligned base, so layout effects (e.g. the
+// partition-aware split of §5 separating local from remote adjacency
+// arrays) are visible to the model exactly as they would be to real caches.
+//
+// The model is deterministic; profiled runs execute their simulated threads
+// in a fixed order (see internal/sched.SequentialFor), so reported miss
+// counts are reproducible across runs and machines.
+package memsim
+
+import (
+	"fmt"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	Size     int // total bytes; must be a multiple of Ways*LineSize
+	Ways     int // associativity
+	LineSize int // bytes per line
+}
+
+// Validate reports whether the geometry is consistent.
+func (c CacheConfig) Validate() error {
+	if c.Size <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("memsim: %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("memsim: %s: line size %d is not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%(c.Ways*c.LineSize) != 0 {
+		return fmt.Errorf("memsim: %s: size %d not divisible by ways*line (%d)", c.Name, c.Size, c.Ways*c.LineSize)
+	}
+	sets := c.Size / (c.Ways * c.LineSize)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("memsim: %s: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg       CacheConfig
+	sets      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets × ways
+	stamps    []uint64 // LRU stamps, parallel to tags
+	valid     []bool
+	clock     uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache from its configuration; it panics on invalid
+// geometry (a programming error, not a runtime condition).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Size / (cfg.Ways * cfg.LineSize)
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*cfg.Ways),
+		stamps:    make([]uint64, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up the line containing addr, installing it on a miss.
+// It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	lineAddr := addr >> c.lineShift
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> 0 // full line address as tag (set bits included; harmless)
+	base := set * c.cfg.Ways
+	victim := base
+	var victimStamp uint64 = ^uint64(0)
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim, victimStamp = i, 0
+		} else if c.stamps[i] < victimStamp {
+			victim, victimStamp = i, c.stamps[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.stamps[victim] = c.clock
+	return false
+}
+
+// Reset clears all cached lines and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Hits, c.Misses, c.clock = 0, 0, 0
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name     string
+	Entries  int // fully associative entry count
+	PageSize int // bytes; power of two
+}
+
+// Validate reports whether the TLB geometry is consistent.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 || c.PageSize <= 0 {
+		return fmt.Errorf("memsim: %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("memsim: %s: page size %d is not a power of two", c.Name, c.PageSize)
+	}
+	return nil
+}
+
+// TLB is a fully-associative LRU translation buffer.
+type TLB struct {
+	cfg       TLBConfig
+	pageShift uint
+	pages     []uint64
+	stamps    []uint64
+	used      int
+	clock     uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewTLB builds a TLB; it panics on invalid geometry.
+func NewTLB(cfg TLBConfig) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.PageSize {
+		shift++
+	}
+	return &TLB{
+		cfg:       cfg,
+		pageShift: shift,
+		pages:     make([]uint64, cfg.Entries),
+		stamps:    make([]uint64, cfg.Entries),
+	}
+}
+
+// Access translates addr, returning true on a TLB hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.clock++
+	page := addr >> t.pageShift
+	victim, victimStamp := 0, ^uint64(0)
+	for i := 0; i < t.used; i++ {
+		if t.pages[i] == page {
+			t.stamps[i] = t.clock
+			t.Hits++
+			return true
+		}
+		if t.stamps[i] < victimStamp {
+			victim, victimStamp = i, t.stamps[i]
+		}
+	}
+	t.Misses++
+	if t.used < t.cfg.Entries {
+		victim = t.used
+		t.used++
+	}
+	t.pages[victim] = page
+	t.stamps[victim] = t.clock
+	return false
+}
+
+// Reset clears the TLB contents and statistics.
+func (t *TLB) Reset() {
+	t.used, t.clock, t.Hits, t.Misses = 0, 0, 0, 0
+}
+
+// PageSize returns the page size in bytes.
+func (t *TLB) PageSize() int { return t.cfg.PageSize }

@@ -1,0 +1,305 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/counters"
+)
+
+func smallCache() *Cache {
+	// 4 sets × 2 ways × 64 B lines = 512 B.
+	return NewCache(CacheConfig{Name: "t", Size: 512, Ways: 2, LineSize: 64})
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "a", Size: 0, Ways: 1, LineSize: 64},
+		{Name: "b", Size: 512, Ways: 2, LineSize: 48},        // not power of two
+		{Name: "c", Size: 500, Ways: 2, LineSize: 64},        // not divisible
+		{Name: "d", Size: 64 * 2 * 3, Ways: 2, LineSize: 64}, // 3 sets: not pow2
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated but should not", c)
+		}
+	}
+	good := CacheConfig{Name: "ok", Size: 32 << 10, Ways: 8, LineSize: 64}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := smallCache()
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1004) { // same line
+		t.Fatal("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache() // 2 ways per set; set = (addr>>6) & 3
+	// Three distinct lines mapping to set 0: line addresses 0, 4, 8 (<<6).
+	a0 := uint64(0 << 6)
+	a1 := uint64(4 << 6)
+	a2 := uint64(8 << 6)
+	c.Access(a0) // miss, install
+	c.Access(a1) // miss, install (set full)
+	c.Access(a0) // hit, a1 becomes LRU
+	c.Access(a2) // miss, evicts a1
+	if !c.Access(a0) {
+		t.Fatal("a0 should still be cached")
+	}
+	if c.Access(a1) {
+		t.Fatal("a1 should have been evicted (LRU)")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := smallCache()
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if c.Access(0) {
+		t.Fatal("cache content survived Reset")
+	}
+}
+
+func TestCacheCapacitySweep(t *testing.T) {
+	// Sequentially touching exactly Size bytes twice: second pass must be
+	// all hits (LRU keeps the working set when it fits).
+	c := NewCache(CacheConfig{Name: "t", Size: 4096, Ways: 4, LineSize: 64})
+	lines := 4096 / 64
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i * 64))
+	}
+	if c.Misses != int64(lines) {
+		t.Fatalf("first pass misses=%d want %d", c.Misses, lines)
+	}
+	for i := 0; i < lines; i++ {
+		if !c.Access(uint64(i * 64)) {
+			t.Fatalf("second pass missed line %d", i)
+		}
+	}
+}
+
+func TestTLBValidate(t *testing.T) {
+	if err := (TLBConfig{Name: "x", Entries: 0, PageSize: 4096}).Validate(); err == nil {
+		t.Error("zero entries validated")
+	}
+	if err := (TLBConfig{Name: "x", Entries: 4, PageSize: 3000}).Validate(); err == nil {
+		t.Error("non-pow2 page validated")
+	}
+}
+
+func TestTLBHitMissLRU(t *testing.T) {
+	tl := NewTLB(TLBConfig{Name: "t", Entries: 2, PageSize: 4096})
+	p := func(i int) uint64 { return uint64(i) * 4096 }
+	if tl.Access(p(0)) {
+		t.Fatal("cold hit")
+	}
+	tl.Access(p(1))
+	if !tl.Access(p(0)) {
+		t.Fatal("page 0 evicted too early")
+	}
+	tl.Access(p(2)) // evicts page 1 (LRU)
+	if tl.Access(p(1)) {
+		t.Fatal("page 1 should have been evicted")
+	}
+	// That probe missed and re-installed page 1, evicting page 0 (LRU);
+	// residents are now {2, 1}.
+	if !tl.Access(p(2)) || !tl.Access(p(1)) {
+		t.Fatal("resident pages missed")
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tl := NewTLB(TLBConfig{Name: "t", Entries: 4, PageSize: 4096})
+	tl.Access(0)
+	tl.Reset()
+	if tl.Hits != 0 || tl.Misses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if tl.Access(0) {
+		t.Fatal("entry survived reset")
+	}
+}
+
+func TestMachineProbeCounts(t *testing.T) {
+	m := NewMachine(HaswellTrivium(), 2)
+	probes := m.Probes()
+	arr := m.Space().NewArray(1024, 8)
+
+	p0 := probes[0]
+	p0.Read(arr.Addr(0), 8)  // miss everywhere
+	p0.Read(arr.Addr(1), 8)  // same line: all hits
+	p0.Write(arr.Addr(0), 8) // hit
+	p0.Atomic(arr.Addr(0), 8)
+	p0.Lock(arr.Addr(512))
+	p0.Branch(true)
+	p0.Jump()
+	p0.Exec(0)
+	p0.Exec(0)
+
+	rep := m.Report()
+	if got := rep.Get(counters.Reads); got != 2 {
+		t.Errorf("reads = %d", got)
+	}
+	if got := rep.Get(counters.Writes); got != 1 {
+		t.Errorf("writes = %d", got)
+	}
+	if got := rep.Get(counters.Atomics); got != 1 {
+		t.Errorf("atomics = %d", got)
+	}
+	if got := rep.Get(counters.Locks); got != 1 {
+		t.Errorf("locks = %d", got)
+	}
+	if got := rep.Get(counters.L1Miss); got != 2 { // line of arr[0] + line of arr[512]
+		t.Errorf("L1 misses = %d, want 2", got)
+	}
+	if got := rep.Get(counters.TLBDataMiss); got != 2 { // two distinct pages
+		t.Errorf("DTLB misses = %d, want 2", got)
+	}
+	if got := rep.Get(counters.TLBInstMiss); got != 1 { // region 0 fetched twice
+		t.Errorf("ITLB misses = %d, want 1", got)
+	}
+	if got := rep.Get(counters.BranchesCond); got != 1 {
+		t.Errorf("cond branches = %d", got)
+	}
+	if got := rep.Get(counters.BranchesUncond); got != 1 {
+		t.Errorf("uncond branches = %d", got)
+	}
+}
+
+func TestSharedL3(t *testing.T) {
+	m := NewMachine(HaswellTrivium(), 2)
+	probes := m.Probes()
+	arr := m.Space().NewArray(16, 8)
+	probes[0].Read(arr.Addr(0), 8) // installs into shared L3
+	probes[1].Read(arr.Addr(0), 8) // misses private L1/L2, hits shared L3
+	rep := m.Report()
+	if got := rep.Get(counters.L1Miss); got != 2 {
+		t.Errorf("L1 misses = %d, want 2 (private)", got)
+	}
+	if got := rep.Get(counters.L3Miss); got != 1 {
+		t.Errorf("L3 misses = %d, want 1 (shared)", got)
+	}
+}
+
+func TestMachineReset(t *testing.T) {
+	m := NewMachine(HaswellTrivium(), 1)
+	p := m.Probes()[0]
+	arr := m.Space().NewArray(8, 8)
+	p.Read(arr.Addr(0), 8)
+	m.Reset()
+	rep := m.Report()
+	for _, e := range counters.Table1Events() {
+		if rep.Get(e) != 0 {
+			t.Fatalf("event %v = %d after reset", e, rep.Get(e))
+		}
+	}
+	// Address space preserved: a new array does not overlap the old one.
+	arr2 := m.Space().NewArray(8, 8)
+	if arr2.Base <= arr.Base {
+		t.Fatal("address space was reset")
+	}
+}
+
+func TestAddressSpaceNonOverlapping(t *testing.T) {
+	var s AddressSpace
+	a := s.NewArray(1000, 8)
+	b := s.NewArray(1000, 4)
+	if a.Base == 0 || b.Base == 0 {
+		t.Fatal("zero base handed out")
+	}
+	endA := a.Addr(999) + a.Elem
+	if b.Base < endA {
+		t.Fatalf("arrays overlap: a ends at %#x, b starts at %#x", endA, b.Base)
+	}
+	if b.Base%pageAlign != 0 {
+		t.Fatalf("base %#x not page aligned", b.Base)
+	}
+}
+
+func TestStridedAccessMissRate(t *testing.T) {
+	// Accesses with a 64-byte stride must miss every line; with an 8-byte
+	// stride only every 8th access misses (sequential locality) — this is
+	// the mechanism behind pulling's higher miss counts in Table 1.
+	m := NewMachine(XeonE5SandyBridge(), 1)
+	p := m.Probes()[0]
+	arr := m.Space().NewArray(1<<16, 8)
+
+	for i := int64(0); i < 4096; i++ {
+		p.Read(arr.Addr(i), 8)
+	}
+	seqMisses := m.Report().Get(counters.L1Miss)
+	m.Reset()
+	for i := int64(0); i < 4096; i++ {
+		p.Read(arr.Addr(i*8), 8)
+	}
+	stridedMisses := m.Report().Get(counters.L1Miss)
+	if seqMisses*4 > stridedMisses {
+		t.Fatalf("sequential misses %d not ≪ strided misses %d", seqMisses, stridedMisses)
+	}
+}
+
+// Property: hits+misses equals the number of accesses for any address set.
+func TestCacheAccessAccounting(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := smallCache()
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		return c.Hits+c.Misses == int64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeating the same access twice in a row always hits the second
+// time.
+func TestCacheImmediateRepeatHits(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := smallCache()
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "b", Size: 32 << 10, Ways: 8, LineSize: 64})
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkHierarchyRead(b *testing.B) {
+	m := NewMachine(XeonE5SandyBridge(), 1)
+	p := m.Probes()[0]
+	arr := m.Space().NewArray(1<<20, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Read(arr.Addr(int64(i)&((1<<20)-1)), 8)
+	}
+}
