@@ -1,0 +1,376 @@
+package pushpull
+
+// The built-in algorithm adapters: each lowers the uniform Config onto
+// one internal algorithm package and lifts its result into a Report.
+// They are the only glue between the public facade and internal/algo.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pushpull/internal/algo/bc"
+	"pushpull/internal/algo/bfs"
+	"pushpull/internal/algo/gc"
+	"pushpull/internal/algo/mst"
+	"pushpull/internal/algo/pr"
+	"pushpull/internal/algo/sssp"
+	"pushpull/internal/algo/tc"
+	"pushpull/internal/core"
+)
+
+// builtin implements Algorithm around an adapter function.
+type builtin struct {
+	name string
+	desc string
+	run  func(ctx context.Context, g *Graph, cfg *Config) (*Report, error)
+}
+
+func (b *builtin) Name() string     { return b.name }
+func (b *builtin) Describe() string { return b.desc }
+func (b *builtin) Run(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	return b.run(ctx, g, cfg)
+}
+
+func init() {
+	for _, b := range []*builtin{
+		{"pr", "PageRank (§3.1, Algorithm 1; +Partition-Awareness §5)", runPR},
+		{"tc", "triangle counting (§3.2, Algorithm 2; +Partition-Awareness §5)", runTC},
+		{"bfs", "generalized breadth-first search (§3.3, Algorithm 3; Auto = direction-optimizing)", runBFS},
+		{"sssp", "Δ-stepping shortest paths (§3.4, Algorithm 4; Auto = adaptive switching)", runSSSP},
+		{"bc", "Brandes betweenness centrality (§3.5, Algorithm 5)", runBC},
+		{"gc", "Boman graph coloring (§3.6, Algorithm 6; WithSwitchPolicy = Frontier-Exploit+GS/GrS §5)", runGC},
+		{"gc-fe", "Frontier-Exploit coloring (§5), optionally with a switch policy", runGCFE},
+		{"gc-cr", "Conflict-Removal coloring (§5, Algorithm 9)", runGCCR},
+		{"mst", "Borůvka minimum spanning tree (§3.7, Algorithm 7)", runMST},
+	} {
+		MustRegister(b)
+	}
+}
+
+// errProbes is returned for probe requests on un-instrumented algorithms.
+func errProbes(name string) error {
+	return fmt.Errorf("pushpull: %s has no instrumented (WithProbes) variant", name)
+}
+
+// ---- PageRank ----
+
+func runPR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	opt := pr.Options{Options: cfg.coreOptions(ctx), Iterations: cfg.Iterations}
+	if cfg.DampingSet {
+		opt.SetDamping(cfg.Damping)
+	}
+	// Pulling needs no synchronization at all (§3.1): the Auto default.
+	// Partition-Awareness accelerates the push kernel (§5), so asking for
+	// it implies pushing; an explicit pull direction conflicts.
+	dir := cfg.resolveDir(core.Pull)
+	if cfg.PartitionAware {
+		if cfg.Direction == Pull {
+			return nil, fmt.Errorf("pushpull: pr partition awareness accelerates pushing (§5); drop WithDirection(Pull)")
+		}
+		dir = core.Push
+	}
+
+	if cfg.Probes {
+		start := time.Now()
+		var ranks []float64
+		var err error
+		var rep CounterReport
+		if dir == core.Push && cfg.PartitionAware {
+			// The PA kernel's worker decomposition is the partition.
+			pa, paErr := cfg.paGraph(g)
+			if paErr != nil {
+				return nil, paErr
+			}
+			prof, grp := core.CountingProfile(pa.Part.P)
+			ranks, err = pr.PushPAProfiled(pa, opt, prof, nil)
+			rep = grp.Report()
+		} else {
+			prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+			if dir == core.Push {
+				ranks, err = pr.PushProfiled(g, opt, prof, nil)
+			} else {
+				ranks, err = pr.PullProfiled(g, opt, prof, nil)
+			}
+			rep = grp.Report()
+		}
+		if err != nil {
+			return nil, err
+		}
+		iters := cfg.Iterations
+		if iters <= 0 {
+			iters = pr.DefaultIterations
+		}
+		// Wall time covers the whole instrumented pass (it includes the
+		// probe bookkeeping, so it is slower than a plain run).
+		return &Report{Result: ranks,
+			Stats:      RunStats{Direction: dir, Iterations: iters, Elapsed: time.Since(start)},
+			Directions: uniformTrace(dir, iters), Counters: &rep}, nil
+	}
+
+	var ranks []float64
+	var stats core.RunStats
+	switch {
+	case dir == core.Push && cfg.PartitionAware:
+		pa, err := cfg.paGraph(g)
+		if err != nil {
+			return nil, err
+		}
+		ranks, stats = pr.PushPA(pa, opt)
+	case dir == core.Push:
+		ranks, stats = pr.Push(g, opt)
+	default:
+		ranks, stats = pr.Pull(g, opt)
+	}
+	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
+}
+
+// ---- Triangle counting ----
+
+func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	opt := tc.Options{Options: cfg.coreOptions(ctx)}
+	// Pulling accumulates privately with no atomics (§4.9): Auto default.
+	// As with pr, Partition-Awareness implies the push kernel it exists
+	// to accelerate.
+	dir := cfg.resolveDir(core.Pull)
+	if cfg.PartitionAware {
+		if cfg.Direction == Pull {
+			return nil, fmt.Errorf("pushpull: tc partition awareness accelerates pushing (§5); drop WithDirection(Pull)")
+		}
+		dir = core.Push
+	}
+
+	if cfg.Probes {
+		if cfg.PartitionAware {
+			return nil, fmt.Errorf("pushpull: tc has no instrumented partition-aware variant")
+		}
+		start := time.Now()
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+		var counts []int64
+		var err error
+		if dir == core.Push {
+			counts, err = tc.PushProfiled(g, prof, nil)
+		} else {
+			counts, err = tc.PullProfiled(g, prof, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		// The instrumented kernel is one deterministic pass; the wall
+		// time includes the probe bookkeeping.
+		return &Report{Result: counts,
+			Stats:      RunStats{Direction: dir, Iterations: 1, Elapsed: time.Since(start)},
+			Directions: uniformTrace(dir, 1), Counters: &rep}, nil
+	}
+
+	var counts []int64
+	var stats core.RunStats
+	switch {
+	case dir == core.Push && cfg.PartitionAware:
+		pa, err := cfg.paGraph(g)
+		if err != nil {
+			return nil, err
+		}
+		counts, stats = tc.PushPA(pa, opt)
+	case dir == core.Push:
+		counts, stats = tc.Push(g, opt)
+	default:
+		counts, stats = tc.Pull(g, opt)
+	}
+	return &Report{Result: counts, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
+}
+
+// ---- BFS ----
+
+func runBFS(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	if cfg.Probes {
+		return nil, errProbes("bfs")
+	}
+	if n := g.N(); n > 0 && (int(cfg.Source) < 0 || int(cfg.Source) >= n) {
+		return nil, fmt.Errorf("pushpull: bfs source %d out of range [0,%d)", cfg.Source, n)
+	}
+	mode := bfs.Auto // the direction-optimizing switch of Beamer et al.
+	switch cfg.Direction {
+	case Push:
+		mode = bfs.ForcePush
+	case Pull:
+		mode = bfs.ForcePull
+	}
+	tree, dirs, stats := bfs.TraverseFrom(g, cfg.Source, mode, cfg.coreOptions(ctx))
+	trace := make([]Direction, len(dirs))
+	for i, d := range dirs {
+		trace[i] = dirFromCore(d)
+	}
+	return &Report{Result: tree, Stats: stats, Directions: trace}, nil
+}
+
+// ---- SSSP ----
+
+func runSSSP(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	opt := sssp.Options{Options: cfg.coreOptions(ctx), Source: cfg.Source, Delta: cfg.Delta}
+	if n := g.N(); n > 0 && (int(cfg.Source) < 0 || int(cfg.Source) >= n) {
+		return nil, fmt.Errorf("pushpull: sssp source %d out of range [0,%d)", cfg.Source, n)
+	}
+	if cfg.Probes {
+		if cfg.Direction == Auto {
+			return nil, fmt.Errorf("pushpull: sssp probes need WithDirection(Push|Pull)")
+		}
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+		var res *sssp.Result
+		var err error
+		if cfg.Direction == Push {
+			res, err = sssp.PushProfiled(g, opt, prof, nil)
+		} else {
+			res, err = sssp.PullProfiled(g, opt, prof, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{Result: res, Stats: res.Stats, Counters: &rep,
+			Directions: uniformTrace(res.Stats.Direction, res.Stats.Iterations)}, nil
+	}
+
+	// Auto runs the per-iteration switching variant (§7.2).
+	if cfg.Direction == Auto {
+		res := sssp.Adaptive(g, opt)
+		trace := make([]Direction, len(res.Dirs))
+		for i, d := range res.Dirs {
+			trace[i] = dirFromCore(d)
+		}
+		return &Report{Result: res.Result, Stats: res.Stats, Directions: trace}, nil
+	}
+	var res *sssp.Result
+	if cfg.Direction == Push {
+		res = sssp.Push(g, opt)
+	} else {
+		res = sssp.Pull(g, opt)
+	}
+	return &Report{Result: res, Stats: res.Stats,
+		Directions: uniformTrace(res.Stats.Direction, res.Stats.Iterations)}, nil
+}
+
+// ---- Betweenness centrality ----
+
+func runBC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	if cfg.Probes {
+		return nil, errProbes("bc")
+	}
+	for _, s := range cfg.Sources {
+		if int(s) < 0 || int(s) >= g.N() {
+			return nil, fmt.Errorf("pushpull: bc source %d out of range [0,%d)", s, g.N())
+		}
+	}
+	opt := bc.Options{Options: cfg.coreOptions(ctx), Sources: cfg.Sources}
+	dir := cfg.resolveDir(core.Push) // bc defaults to push (§3.5 baseline)
+	if dir == core.Push {
+		opt.Mode = bfs.ForcePush
+	} else {
+		opt.Mode = bfs.ForcePull
+	}
+	res := bc.Run(g, opt)
+	res.Stats.Direction = dir
+	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
+}
+
+// ---- Graph coloring ----
+
+func runGC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	// A switching policy turns the run into Frontier-Exploit steered by
+	// that policy (Generic-Switch / Greedy-Switch, §5).
+	if cfg.Switch != nil {
+		if cfg.Probes {
+			return nil, fmt.Errorf("pushpull: gc with WithSwitchPolicy runs Frontier-Exploit, which has no instrumented (WithProbes) variant")
+		}
+		return runGCFE(ctx, g, cfg)
+	}
+	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
+	dir := cfg.resolveDir(core.Push) // push maintains the exact dirty set
+	part := NewPartition(g.N(), cfg.partitions(g.N()))
+
+	if cfg.Probes {
+		start := time.Now()
+		prof, grp := core.CountingProfile(part.P)
+		var res *gc.ProfiledResult
+		var err error
+		if dir == core.Push {
+			res, err = gc.PushProfiled(g, part, opt, prof, nil)
+		} else {
+			res, err = gc.PullProfiled(g, part, opt, prof, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{
+			Result:     &gc.Result{Colors: res.Colors, Iterations: res.Iterations, NumColors: gc.CountColors(res.Colors)},
+			Stats:      RunStats{Direction: dir, Iterations: res.Iterations, Elapsed: time.Since(start)},
+			Directions: uniformTrace(dir, res.Iterations),
+			Counters:   &rep,
+		}, nil
+	}
+
+	var res *gc.Result
+	var err error
+	if dir == core.Push {
+		res, err = gc.Push(g, part, opt)
+	} else {
+		res, err = gc.Pull(g, part, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
+}
+
+func runGCFE(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	if cfg.Probes {
+		return nil, errProbes("gc-fe")
+	}
+	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
+	dir := cfg.resolveDir(core.Push)
+	// The built-in policies are re-instantiated per run: GenericSwitch
+	// latches one-shot state after flipping, so handing the caller's
+	// pointer straight to the algorithm would silently disable switching
+	// on every reuse (and race under concurrent Runs).
+	policy := cfg.Switch
+	switch p := policy.(type) {
+	case *core.GenericSwitch:
+		policy = &core.GenericSwitch{Threshold: p.Threshold}
+	case *core.GreedySwitch:
+		policy = &core.GreedySwitch{Fraction: p.Fraction, Total: p.Total}
+	}
+	res := gc.FrontierExploit(g, opt, dir, policy)
+	// The trace reflects the starting direction; a GenericSwitch flip
+	// mid-run is visible in Stats.Direction only through the policy.
+	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
+}
+
+func runGCCR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	if cfg.Probes {
+		return nil, errProbes("gc-cr")
+	}
+	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
+	part := NewPartition(g.N(), cfg.partitions(g.N()))
+	res, err := gc.ConflictRemoval(g, part, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Result: res, Stats: res.Stats,
+		Directions: uniformTrace(core.Push, res.Stats.Iterations)}, nil
+}
+
+// ---- MST ----
+
+func runMST(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+	if cfg.Probes {
+		return nil, errProbes("mst")
+	}
+	opt := mst.Options{Options: cfg.coreOptions(ctx)}
+	// Pulling writes only owned slots, avoiding the O(n²) push-side lock
+	// conflicts of §4.7: the Auto default.
+	dir := cfg.resolveDir(core.Pull)
+	res := mst.Boruvka(g, opt, dir)
+	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
+}

@@ -7,7 +7,7 @@
 //
 // Scale is deliberately small so the full sweep completes in minutes; use
 // cmd/pushpull for the full-scale regeneration.
-package pushpull
+package pushpull_test
 
 import (
 	"io"

@@ -1,6 +1,6 @@
 // Command graphgen generates the synthetic workload graphs of the
-// reproduction suite and writes them as portable edge lists, or prints
-// their Table 2 statistics.
+// reproduction suite through the public pushpull API and writes them as
+// portable edge lists, or prints their Table 2 statistics.
 //
 // Usage:
 //
@@ -14,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"pushpull/internal/gen"
-	"pushpull/internal/graph"
+	"pushpull"
 )
 
 func main() {
@@ -26,7 +25,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print Table 2 statistics instead of edges")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphgen [flags] <suite-id>\n\nSuite graphs:\n")
-		for _, s := range gen.Suite() {
+		for _, s := range pushpull.SuiteGraphs() {
 			fmt.Fprintf(os.Stderr, "  %-6s %s\n", s.ID, s.Describe)
 		}
 		fmt.Fprintf(os.Stderr, "\nFlags:\n")
@@ -39,12 +38,12 @@ func main() {
 	}
 	name := flag.Arg(0)
 
-	var g *graph.CSR
+	var g *pushpull.Graph
 	var err error
 	if *weights {
-		g, err = gen.NamedWeighted(name, *scale, *seed)
+		g, err = pushpull.NamedWeightedGraph(name, *scale, *seed)
 	} else {
-		g, err = gen.Named(name, *scale, *seed)
+		g, err = pushpull.NamedGraph(name, *scale, *seed)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
@@ -52,7 +51,7 @@ func main() {
 	}
 
 	if *stats {
-		fmt.Println(graph.ComputeStats(g))
+		fmt.Println(pushpull.ComputeStats(g))
 		return
 	}
 
@@ -66,7 +65,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
+	if err := pushpull.WriteEdgeList(w, g); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}

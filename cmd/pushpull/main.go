@@ -1,16 +1,20 @@
-// Command pushpull regenerates any table or figure of the HPDC'17 paper
-// "To Push or To Pull: On Reducing Communication and Synchronization in
-// Graph Computations" from this reproduction.
+// Command pushpull is the CLI over the unified push/pull engine: it runs
+// any registered algorithm on any suite workload through the public
+// pushpull.Run facade, and regenerates any table or figure of the
+// HPDC'17 paper "To Push or To Pull: On Reducing Communication and
+// Synchronization in Graph Computations" from this reproduction.
 //
 // Usage:
 //
+//	pushpull [flags] run <algorithm>   # one engine run via the facade
 //	pushpull [flags] <experiment-id>|all|list
 //
-//	pushpull table3            # PR and TC push-vs-pull times
-//	pushpull -t 8 -scale 2 fig1
-//	pushpull all               # every experiment, paper order
+//	pushpull run pr -dir pull          # PageRank, pulling
+//	pushpull -t 8 run sssp -graph rca -dir auto
+//	pushpull table3                    # PR and TC push-vs-pull times
+//	pushpull all                       # every experiment, paper order
 //
-// Flags:
+// Global flags:
 //
 //	-t <n>      worker threads (default: GOMAXPROCS)
 //	-scale <f>  workload scale multiplier (default 1.0)
@@ -18,10 +22,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"pushpull"
 	"pushpull/internal/harness"
 )
 
@@ -32,19 +42,20 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cfg := harness.Config{Threads: *threads, Scale: *scale, Seed: *seed, Out: os.Stdout}
 	arg := flag.Arg(0)
 	switch arg {
+	case "run":
+		runAlgorithm(flag.Args()[1:], *threads, *scale, *seed)
+		return
 	case "list":
-		for _, e := range harness.All() {
-			fmt.Printf("%-8s %-10s %s\n", e.ID, e.Paper, e.Title)
-		}
+		printCatalog(os.Stdout)
 		return
 	case "all":
+		cfg := harness.Config{Threads: *threads, Scale: *scale, Seed: *seed, Out: os.Stdout}
 		for _, e := range harness.All() {
 			if err := e.Run(cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "pushpull: %s: %v\n", e.ID, err)
@@ -54,9 +65,10 @@ func main() {
 		}
 		return
 	default:
+		cfg := harness.Config{Threads: *threads, Scale: *scale, Seed: *seed, Out: os.Stdout}
 		e, ok := harness.ByID(arg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "pushpull: unknown experiment %q (valid: %v, or 'all'/'list')\n",
+			fmt.Fprintf(os.Stderr, "pushpull: unknown experiment %q (valid: %v, or 'run'/'all'/'list')\n",
 				arg, harness.IDs())
 			os.Exit(2)
 		}
@@ -67,16 +79,133 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] <experiment-id>|all|list
-
-Regenerates the tables and figures of "To Push or To Pull" (HPDC'17).
-
-Experiments:
-`)
-	for _, e := range harness.All() {
-		fmt.Fprintf(os.Stderr, "  %-8s %-10s %s\n", e.ID, e.Paper, e.Title)
+// runAlgorithm is the facade path: build the workload, run one algorithm
+// through pushpull.Run, print the uniform report.
+func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	graphID := fs.String("graph", "rmat", "suite workload id (see graphgen)")
+	dir := fs.String("dir", "auto", "update direction: push, pull, auto")
+	iters := fs.Int("iters", 0, "iteration bound: pr iterations / gc max-iters (0 = algorithm default)")
+	source := fs.Int("source", 0, "source vertex for traversals")
+	sourcesCSV := fs.String("sources", "", "comma-separated source vertices for bc (default: 8 sampled)")
+	delta := fs.Float64("delta", 0, "Δ-stepping bucket width (0 = heuristic)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = none)")
+	// Accept both "run pr -dir pull" and "run -dir pull pr".
+	algo := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		algo, args = args[0], args[1:]
 	}
+	fs.Parse(args)
+	if algo == "" && fs.NArg() == 1 {
+		algo = fs.Arg(0)
+	} else if algo == "" || fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] run <algorithm> [run-flags]\nAlgorithms: %s\n",
+			strings.Join(pushpull.Algorithms(), ", "))
+		os.Exit(2)
+	}
+
+	var d pushpull.Direction
+	switch *dir {
+	case "push":
+		d = pushpull.Push
+	case "pull":
+		d = pushpull.Pull
+	case "auto":
+		d = pushpull.Auto
+	default:
+		fmt.Fprintf(os.Stderr, "pushpull: bad -dir %q (push, pull, auto)\n", *dir)
+		os.Exit(2)
+	}
+
+	// Validate the algorithm before paying for workload construction.
+	if _, err := pushpull.Lookup(algo); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// sssp needs weights; every suite graph supports a weighted build.
+	var g *pushpull.Graph
+	var err error
+	if algo == "sssp" || algo == "mst" {
+		g, err = pushpull.NamedWeightedGraph(*graphID, scale, seed)
+	} else {
+		g, err = pushpull.NamedGraph(*graphID, scale, seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pushpull: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s: n=%d m=%d d̄=%.1f\n", *graphID, g.N(), g.UndirectedM(), g.AvgDegree())
+
+	var sources []pushpull.V
+	if *sourcesCSV != "" {
+		for _, f := range strings.Split(*sourcesCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pushpull: bad -sources entry %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			sources = append(sources, pushpull.V(v))
+		}
+	} else if algo == "bc" {
+		// Exact all-sources Brandes is O(n·m); sample like the paper's
+		// BC experiments do unless sources are pinned explicitly.
+		for v := 0; v < g.N() && v < 8; v++ {
+			sources = append(sources, pushpull.V(v))
+		}
+		fmt.Printf("bc: sampling %d sources (pin with -sources v1,v2,...)\n", len(sources))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	rep, err := pushpull.Run(ctx, g, algo,
+		pushpull.WithDirection(d),
+		pushpull.WithThreads(threads),
+		pushpull.WithIterations(*iters),
+		pushpull.WithMaxIters(*iters),
+		pushpull.WithSource(pushpull.V(*source)),
+		pushpull.WithSources(sources),
+		pushpull.WithDelta(*delta),
+	)
+	if err != nil && rep == nil {
+		fmt.Fprintln(os.Stderr, err) // facade errors carry their own prefix
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Printf("aborted after %v: %v\n", time.Since(start).Round(time.Millisecond), err)
+		fmt.Println(rep.Summary())
+		os.Exit(1)
+	}
+	fmt.Println(rep.Summary())
+}
+
+// printCatalog lists every registered algorithm and experiment; shared
+// by "pushpull list" and the usage text.
+func printCatalog(w io.Writer) {
+	fmt.Fprintln(w, "Algorithms (pushpull run <name>):")
+	for _, name := range pushpull.Algorithms() {
+		a, _ := pushpull.Lookup(name)
+		fmt.Fprintf(w, "  %-8s %s\n", name, a.Describe())
+	}
+	fmt.Fprintln(w, "\nExperiments:")
+	for _, e := range harness.All() {
+		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.ID, e.Paper, e.Title)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | <experiment-id>|all|list
+
+Runs any push/pull algorithm through the unified engine API, or
+regenerates the tables and figures of "To Push or To Pull" (HPDC'17).
+
+`)
+	printCatalog(os.Stderr)
 	fmt.Fprintf(os.Stderr, "\nFlags:\n")
 	flag.PrintDefaults()
 }

@@ -1,0 +1,50 @@
+package pushpull
+
+// Distributed-memory facade: the §6.3 simulated-cluster algorithms
+// (push-RMA, pull-RMA, message passing) re-exported so callers need only
+// this package. These run on a simulated cluster and return simulated
+// makespans plus remote-operation counters; they are deliberately not in
+// the Run registry, whose algorithms share the shared-memory Report
+// shape.
+
+import "pushpull/internal/dm/dalgo"
+
+type (
+	// DistPRConfig configures a distributed PageRank run.
+	DistPRConfig = dalgo.PRConfig
+	// DistTCConfig configures a distributed triangle-counting run.
+	DistTCConfig = dalgo.TCConfig
+	// DistResult carries gathered values, simulated makespan (ns) and
+	// aggregated remote-operation counters.
+	DistResult = dalgo.Result
+)
+
+// DistPRPushRMA runs push-based PageRank over RMA (remote accumulates).
+func DistPRPushRMA(g *Graph, cfg DistPRConfig) (*DistResult, error) {
+	return dalgo.PRPushRMA(g, cfg)
+}
+
+// DistPRPullRMA runs pull-based PageRank over RMA (remote reads).
+func DistPRPullRMA(g *Graph, cfg DistPRConfig) (*DistResult, error) {
+	return dalgo.PRPullRMA(g, cfg)
+}
+
+// DistPRMsgPassing runs PageRank with buffered message passing.
+func DistPRMsgPassing(g *Graph, cfg DistPRConfig) (*DistResult, error) {
+	return dalgo.PRMsgPassing(g, cfg)
+}
+
+// DistTCPushRMA runs push-based triangle counting over RMA.
+func DistTCPushRMA(g *Graph, cfg DistTCConfig) (*DistResult, error) {
+	return dalgo.TCPushRMA(g, cfg)
+}
+
+// DistTCPullRMA runs pull-based triangle counting over RMA.
+func DistTCPullRMA(g *Graph, cfg DistTCConfig) (*DistResult, error) {
+	return dalgo.TCPullRMA(g, cfg)
+}
+
+// DistTCMsgPassing runs triangle counting with buffered message passing.
+func DistTCMsgPassing(g *Graph, cfg DistTCConfig) (*DistResult, error) {
+	return dalgo.TCMsgPassing(g, cfg)
+}

@@ -1,72 +1,67 @@
-// Community: social-network analytics on a planted-community graph —
-// triangle counting (push vs pull), Boman coloring with the paper's
-// acceleration strategies (FE, GS, GrS, CR), and betweenness centrality
-// with per-phase timings, mirroring §6.1–§6.2.
+// Community: social-network analytics on a planted-community graph
+// through the unified engine API — triangle counting (push vs pull),
+// Boman coloring with the paper's acceleration strategies (FE, GS, GrS,
+// CR), and betweenness centrality with per-phase timings, mirroring
+// §6.1–§6.2.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pushpull/internal/algo/bc"
-	"pushpull/internal/algo/bfs"
-	"pushpull/internal/algo/gc"
-	"pushpull/internal/algo/tc"
-	"pushpull/internal/core"
-	"pushpull/internal/gen"
-	"pushpull/internal/graph"
+	"pushpull"
 )
 
 func main() {
 	const threads = 4
-	g, err := gen.Community(20000, 200, 7, 1.7, 11)
+	g, err := pushpull.Community(20000, 200, 7, 1.7, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("community graph: n=%d m=%d d̄=%.1f\n", g.N(), g.UndirectedM(), g.AvgDegree())
 
-	// Triangle counting: pulling needs no atomics and wins (§6.1).
-	tcOpt := tc.Options{}
-	tcOpt.Threads = threads
-	pushCounts, pushStats := tc.Push(g, tcOpt)
-	pullCounts, pullStats := tc.Pull(g, tcOpt)
-	fmt.Printf("triangles: %d  (push %v, pull %v, equal=%v)\n",
-		tc.Total(pullCounts), pushStats.Elapsed, pullStats.Elapsed,
-		tc.Equal(pushCounts, pullCounts))
+	ctx := context.Background()
+	run := func(algo string, opts ...pushpull.Option) *pushpull.Report {
+		rep, err := pushpull.Run(ctx, g, algo, append(opts, pushpull.WithThreads(threads))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
 
-	// Coloring with every strategy of §5.
-	part := graph.NewPartition(g.N(), threads)
-	gcOpt := gc.Options{}
-	gcOpt.Threads = threads
-	push, err := gc.Push(g, part, gcOpt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	feOpt := gc.Options{MaxIters: 4096}
-	feOpt.Threads = threads
-	fe := gc.FrontierExploit(g, feOpt, core.Push, nil)
-	gs := gc.GS(g, feOpt, core.Push, 1.0)
-	grs := gc.GrS(g, feOpt, core.Push, 0.1)
-	cr, err := gc.ConflictRemoval(g, part, gcOpt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Triangle counting: pulling needs no atomics and wins (§6.1).
+	tcPush := run("tc", pushpull.WithDirection(pushpull.Push))
+	tcPull := run("tc", pushpull.WithDirection(pushpull.Pull))
+	fmt.Printf("triangles: %d  (push %v, pull %v, equal=%v)\n",
+		pushpull.TriangleTotal(tcPull.Counts()), tcPush.Stats.Elapsed, tcPull.Stats.Elapsed,
+		pushpull.EqualCounts(tcPush.Counts(), tcPull.Counts()))
+
+	// Coloring with every strategy of §5, each one engine run.
+	push := run("gc", pushpull.WithDirection(pushpull.Push))
+	fe := run("gc-fe", pushpull.WithDirection(pushpull.Push), pushpull.WithMaxIters(4096))
+	gs := run("gc", pushpull.WithDirection(pushpull.Push), pushpull.WithMaxIters(4096),
+		pushpull.WithSwitchPolicy(&pushpull.GenericSwitch{Threshold: 1.0}))
+	grs := run("gc", pushpull.WithDirection(pushpull.Push), pushpull.WithMaxIters(4096),
+		pushpull.WithSwitchPolicy(&pushpull.GreedySwitch{Fraction: 0.1, Total: g.N()}))
+	cr := run("gc-cr")
 	fmt.Printf("coloring iterations: Boman-push=%d  +FE=%d  +GS=%d  +GrS=%d  CR=%d\n",
-		push.Iterations, fe.Iterations, gs.Iterations, grs.Iterations, cr.Iterations)
-	for name, res := range map[string]*gc.Result{"push": push, "FE": fe, "GrS": grs, "CR": cr} {
-		if err := gc.Validate(g, res.Colors); err != nil {
+		push.Stats.Iterations, fe.Stats.Iterations, gs.Stats.Iterations,
+		grs.Stats.Iterations, cr.Stats.Iterations)
+	for name, rep := range map[string]*pushpull.Report{"push": push, "FE": fe, "GrS": grs, "CR": cr} {
+		if err := pushpull.ValidateColoring(g, rep.Colors()); err != nil {
 			log.Fatalf("%s coloring invalid: %v", name, err)
 		}
 	}
 	fmt.Printf("colors used: push=%d FE=%d GrS=%d CR=%d\n",
-		push.NumColors, fe.NumColors, grs.NumColors, cr.NumColors)
+		pushpull.CountColors(push.Colors()), pushpull.CountColors(fe.Colors()),
+		pushpull.CountColors(grs.Colors()), pushpull.CountColors(cr.Colors()))
 
 	// Betweenness over sampled sources: both phases, push vs pull (§6.1).
-	sources := []graph.V{0, 100, 5000, 12345}
-	for _, mode := range []bfs.Mode{bfs.ForcePush, bfs.ForcePull} {
-		opt := bc.Options{Sources: sources, Mode: mode}
-		opt.Threads = threads
-		res := bc.Run(g, opt)
-		fmt.Printf("BC %-5v: phase1 %v, phase2 %v\n", mode, res.Phase1, res.Phase2)
+	sources := []pushpull.V{0, 100, 5000, 12345}
+	for _, dir := range []pushpull.Direction{pushpull.Push, pushpull.Pull} {
+		rep := run("bc", pushpull.WithDirection(dir), pushpull.WithSources(sources))
+		res := rep.Result.(*pushpull.BCResult)
+		fmt.Printf("BC %-5v: phase1 %v, phase2 %v\n", dir, res.Phase1, res.Phase2)
 	}
 }

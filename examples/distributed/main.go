@@ -1,47 +1,50 @@
 // Distributed: the §6.3 experiments as a user would run them — PageRank
 // and triangle counting on a simulated cluster, comparing push-RMA,
 // pull-RMA and Msg-Passing across rank counts, with remote-operation
-// counters explaining the gaps.
+// counters explaining the gaps. The shared-memory cross-check runs
+// through the unified engine API; the cluster variants through its
+// distributed facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pushpull/internal/algo/pr"
-	"pushpull/internal/counters"
-	"pushpull/internal/dm/dalgo"
-	"pushpull/internal/gen"
+	"pushpull"
 )
 
 func main() {
-	g, err := gen.RMAT(gen.DefaultRMAT(12, 12, 5))
+	g, err := pushpull.RMAT(pushpull.DefaultRMAT(12, 12, 5))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.UndirectedM())
 
 	// Verify the distributed results against shared memory once.
-	want := pr.Sequential(g, pr.Options{Iterations: 5, Damping: 0.85})
-	check, err := dalgo.PRMsgPassing(g, dalgo.PRConfig{Ranks: 8, Iterations: 5})
+	sm, err := pushpull.Run(context.Background(), g, "pr", pushpull.WithIterations(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("DM vs SM PageRank: max|Δ| = %.2g\n\n", dalgo.MaxDiff(check.Values, want))
+	check, err := pushpull.DistPRMsgPassing(g, pushpull.DistPRConfig{Ranks: 8, Iterations: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DM vs SM PageRank: max|Δ| = %.2g\n\n", pushpull.MaxDiff(check.Values, sm.Ranks()))
 
 	fmt.Println("PageRank, simulated makespan per iteration [ms]:")
 	fmt.Printf("%-6s %14s %14s %14s\n", "P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing")
 	const iters = 2
 	for _, p := range []int{2, 8, 32, 128} {
-		push, err := dalgo.PRPushRMA(g, dalgo.PRConfig{Ranks: p, Iterations: iters})
+		push, err := pushpull.DistPRPushRMA(g, pushpull.DistPRConfig{Ranks: p, Iterations: iters})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pull, err := dalgo.PRPullRMA(g, dalgo.PRConfig{Ranks: p, Iterations: iters})
+		pull, err := pushpull.DistPRPullRMA(g, pushpull.DistPRConfig{Ranks: p, Iterations: iters})
 		if err != nil {
 			log.Fatal(err)
 		}
-		msg, err := dalgo.PRMsgPassing(g, dalgo.PRConfig{Ranks: p, Iterations: iters})
+		msg, err := pushpull.DistPRMsgPassing(g, pushpull.DistPRConfig{Ranks: p, Iterations: iters})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,28 +52,28 @@ func main() {
 			push.SimTime/iters/1e6, pull.SimTime/iters/1e6, msg.SimTime/iters/1e6)
 		if p == 8 {
 			fmt.Printf("       (P=8 remote ops: push %s accumulates, pull %s gets, msg %s messages)\n",
-				counters.Human(push.Report.Get(counters.RemoteAtomics)),
-				counters.Human(pull.Report.Get(counters.RemoteReads)),
-				counters.Human(msg.Report.Get(counters.Messages)))
+				pushpull.Human(push.Report.Get(pushpull.RemoteAtomics)),
+				pushpull.Human(pull.Report.Get(pushpull.RemoteReads)),
+				pushpull.Human(msg.Report.Get(pushpull.Messages)))
 		}
 	}
 
 	fmt.Println("\nTriangle counting, simulated makespan [ms]:")
 	fmt.Printf("%-6s %14s %14s %14s\n", "P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing")
 	for _, p := range []int{2, 8, 32} {
-		push, err := dalgo.TCPushRMA(g, dalgo.TCConfig{Ranks: p})
+		push, err := pushpull.DistTCPushRMA(g, pushpull.DistTCConfig{Ranks: p})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pull, err := dalgo.TCPullRMA(g, dalgo.TCConfig{Ranks: p})
+		pull, err := pushpull.DistTCPullRMA(g, pushpull.DistTCConfig{Ranks: p})
 		if err != nil {
 			log.Fatal(err)
 		}
-		msg, err := dalgo.TCMsgPassing(g, dalgo.TCConfig{Ranks: p})
+		msg, err := pushpull.DistTCMsgPassing(g, pushpull.DistTCConfig{Ranks: p})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !dalgo.EqualCounts(push.Counts, pull.Counts) || !dalgo.EqualCounts(push.Counts, msg.Counts) {
+		if !pushpull.EqualCounts(push.Counts, pull.Counts) || !pushpull.EqualCounts(push.Counts, msg.Counts) {
 			log.Fatal("distributed TC variants disagree")
 		}
 		fmt.Printf("%-6d %14.3f %14.3f %14.3f\n", p,

@@ -1,51 +1,60 @@
-// Roadnav: navigation-style workloads on a road network — Δ-stepping
-// shortest paths in both directions, the Δ parameter sweep of Figure 2c,
-// and direction-optimizing BFS, on the high-diameter low-degree graph
-// class where pushing shines (§6.1).
+// Roadnav: navigation-style workloads on a road network through the
+// unified engine API — Δ-stepping shortest paths in both directions, the
+// Δ parameter sweep of Figure 2c, and direction-optimizing BFS, on the
+// high-diameter low-degree graph class where pushing shines (§6.1).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pushpull/internal/algo/bfs"
-	"pushpull/internal/algo/sssp"
-	"pushpull/internal/core"
-	"pushpull/internal/gen"
-	"pushpull/internal/graph"
+	"pushpull"
 )
 
 func main() {
 	// A 180×180 road grid with some missing segments, euclidean-ish
 	// weights in [1, 10).
-	g, err := gen.RoadGrid(180, 180, 0.85, 3)
+	g, err := pushpull.RoadGrid(180, 180, 0.85, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g = gen.WithUniformWeights(g, 1, 10, 4)
-	stats := graph.ComputeStats(g)
+	g = pushpull.WithUniformWeights(g, 1, 10, 4)
+	stats := pushpull.ComputeStats(g)
 	fmt.Printf("road network: n=%d m=%d d̄=%.2f D≈%d\n",
 		stats.N, stats.M, stats.AvgDeg, stats.Diameter)
 
-	opt := sssp.Options{Source: 0}
-	push := sssp.Push(g, opt)
-	pull := sssp.Pull(g, opt)
+	ctx := context.Background()
+	sssp := func(opts ...pushpull.Option) *pushpull.SSSPResult {
+		rep, err := pushpull.Run(ctx, g, "sssp", append(opts, pushpull.WithSource(0))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.Result.(*pushpull.SSSPResult)
+	}
+
+	push := sssp(pushpull.WithDirection(pushpull.Push))
+	pull := sssp(pushpull.WithDirection(pushpull.Pull))
 	fmt.Printf("Δ-stepping: push %v (%d epochs, %d inner iters), pull %v (%d epochs, %d inner iters)\n",
 		push.Stats.Elapsed, push.Epochs, push.Inner,
 		pull.Stats.Elapsed, pull.Epochs, pull.Inner)
-	fmt.Printf("agreement: max|Δdist| = %.2g\n", sssp.MaxDiff(push.Dist, pull.Dist))
+	fmt.Printf("agreement: max|Δdist| = %.2g\n", pushpull.MaxDiff(push.Dist, pull.Dist))
 
 	fmt.Println("Δ sweep (total time; larger Δ narrows the push/pull gap):")
 	for _, delta := range []float64{2, 8, 32, 128, 512} {
-		o := sssp.Options{Source: 0, Delta: delta}
-		p1 := sssp.Push(g, o)
-		p2 := sssp.Pull(g, o)
+		p1 := sssp(pushpull.WithDirection(pushpull.Push), pushpull.WithDelta(delta))
+		p2 := sssp(pushpull.WithDirection(pushpull.Pull), pushpull.WithDelta(delta))
 		fmt.Printf("  Δ=%-6.0f push %-14v pull %-14v\n", delta, p1.Stats.Elapsed, p2.Stats.Elapsed)
 	}
 
 	// BFS: on road networks top-down (push) wins; Auto follows it.
-	for _, mode := range []bfs.Mode{bfs.ForcePush, bfs.ForcePull, bfs.Auto} {
-		tree, st := bfs.TraverseFrom(g, 0, mode, core.Options{})
+	for _, dir := range []pushpull.Direction{pushpull.Push, pushpull.Pull, pushpull.Auto} {
+		rep, err := pushpull.Run(ctx, g, "bfs",
+			pushpull.WithSource(0), pushpull.WithDirection(dir))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree := rep.Tree()
 		far := int32(0)
 		for _, l := range tree.Level {
 			if l > far {
@@ -53,6 +62,6 @@ func main() {
 			}
 		}
 		fmt.Printf("BFS %-5v: %-14v reached %d vertices, depth %d\n",
-			mode, st.Elapsed, tree.Reached(), far)
+			dir, rep.Stats.Elapsed, tree.Reached(), far)
 	}
 }

@@ -1,73 +1,74 @@
 // Webrank: ranking a web-scale-shaped graph with all three PageRank
 // variants — push, pull, and push with Partition-Awareness (§5) — and
-// reading the synchronization bill from the event counters.
+// reading the synchronization bill from the event counters, all through
+// the unified engine API.
 //
 // This is the paper's Figure 6a / Table 1 workflow as a library user would
 // run it: measure first, then choose the direction for your graph shape.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pushpull/internal/algo/pr"
-	"pushpull/internal/core"
-	"pushpull/internal/counters"
-	"pushpull/internal/gen"
-	"pushpull/internal/graph"
+	"pushpull"
 )
 
 func main() {
 	const threads = 4
-	g, err := gen.RMAT(gen.DefaultRMAT(13, 16, 7)) // dense, skewed: orc-like
+	g, err := pushpull.RMAT(pushpull.DefaultRMAT(13, 16, 7)) // dense, skewed: orc-like
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("web-like graph: n=%d m=%d d̄=%.1f\n", g.N(), g.UndirectedM(), g.AvgDegree())
 
-	opt := pr.Options{Iterations: 10}
-	opt.Threads = threads
-
-	ranks, pushStats := pr.Push(g, opt)
-	_, pullStats := pr.Pull(g, opt)
-
-	pa := graph.BuildPA(g, graph.NewPartition(g.N(), threads))
-	_, paStats := pr.PushPA(pa, opt)
-	fmt.Printf("%-22s %v/iter\n", "Pushing:", pushStats.AvgIteration())
-	fmt.Printf("%-22s %v/iter\n", "Pulling:", pullStats.AvgIteration())
-	fmt.Printf("%-22s %v/iter  (remote edges: %d of %d)\n",
-		"Pushing+PA:", paStats.AvgIteration(), pa.RemoteEdges(), g.M())
-
-	// Count the synchronization each direction actually issues.
-	profile := func(run func(prof core.Profile) error) counters.Report {
-		prof, grp := core.CountingProfile(threads)
-		if err := run(prof); err != nil {
+	ctx := context.Background()
+	run := func(opts ...pushpull.Option) *pushpull.Report {
+		rep, err := pushpull.Run(ctx, g, "pr", append(opts,
+			pushpull.WithThreads(threads), pushpull.WithIterations(10))...)
+		if err != nil {
 			log.Fatal(err)
 		}
-		return grp.Report()
+		return rep
 	}
-	popt := pr.Options{Iterations: 1}
-	pushRep := profile(func(prof core.Profile) error {
-		_, err := pr.PushProfiled(g, popt, prof, nil)
-		return err
-	})
-	paRep := profile(func(prof core.Profile) error {
-		_, err := pr.PushPAProfiled(pa, popt, prof, nil)
-		return err
-	})
-	pullRep := profile(func(prof core.Profile) error {
-		_, err := pr.PullProfiled(g, popt, prof, nil)
-		return err
-	})
-	fmt.Printf("atomics/iteration:   push=%s  push+PA=%s  pull=%s\n",
-		counters.Human(pushRep.Get(counters.Atomics)),
-		counters.Human(paRep.Get(counters.Atomics)),
-		counters.Human(pullRep.Get(counters.Atomics)))
-	fmt.Printf("reads/iteration:     push=%s  push+PA=%s  pull=%s\n",
-		counters.Human(pushRep.Get(counters.Reads)),
-		counters.Human(paRep.Get(counters.Reads)),
-		counters.Human(pullRep.Get(counters.Reads)))
 
+	// Build the PA layout once and share it across the timed and probed
+	// runs below.
+	paGraph := pushpull.BuildPA(g, pushpull.NewPartition(g.N(), threads))
+
+	push := run(pushpull.WithDirection(pushpull.Push))
+	pull := run(pushpull.WithDirection(pushpull.Pull))
+	pa := run(pushpull.WithPartitionAwareGraph(paGraph))
+	fmt.Printf("%-22s %v/iter\n", "Pushing:", push.Stats.AvgIteration())
+	fmt.Printf("%-22s %v/iter\n", "Pulling:", pull.Stats.AvgIteration())
+	fmt.Printf("%-22s %v/iter  (remote edges: %d of %d)\n",
+		"Pushing+PA:", pa.Stats.AvgIteration(), paGraph.RemoteEdges(), g.M())
+
+	// Count the synchronization each direction actually issues: the same
+	// runs again, instrumented.
+	profile := func(opts ...pushpull.Option) *pushpull.CounterReport {
+		rep, err := pushpull.Run(ctx, g, "pr", append(opts,
+			pushpull.WithThreads(threads), pushpull.WithIterations(1),
+			pushpull.WithProbes())...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.Counters
+	}
+	pushRep := profile(pushpull.WithDirection(pushpull.Push))
+	paRep := profile(pushpull.WithPartitionAwareGraph(paGraph))
+	pullRep := profile(pushpull.WithDirection(pushpull.Pull))
+	fmt.Printf("atomics/iteration:   push=%s  push+PA=%s  pull=%s\n",
+		pushpull.Human(pushRep.Get(pushpull.Atomics)),
+		pushpull.Human(paRep.Get(pushpull.Atomics)),
+		pushpull.Human(pullRep.Get(pushpull.Atomics)))
+	fmt.Printf("reads/iteration:     push=%s  push+PA=%s  pull=%s\n",
+		pushpull.Human(pushRep.Get(pushpull.Reads)),
+		pushpull.Human(paRep.Get(pushpull.Reads)),
+		pushpull.Human(pullRep.Get(pushpull.Reads)))
+
+	ranks := push.Ranks()
 	top := 0
 	for v, r := range ranks {
 		if r > ranks[top] {

@@ -111,6 +111,10 @@ func Run(g *graph.CSR, opt Options) *Result {
 	ready := make([]int32, n)
 
 	for _, s := range sources {
+		if opt.Canceled() {
+			res.Stats.Canceled = true
+			break
+		}
 		// ----- Phase 1: forward BFS with ⇐pred -----
 		t0 := time.Now()
 		for i := 0; i < n; i++ {

@@ -107,6 +107,10 @@ func Run(g *graph.CSR, cfg *Config, ops Ops) (rounds int, dirs []core.Direction,
 	unexplored := g.M()
 
 	for cur.Len() > 0 {
+		if cfg.Canceled() {
+			stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		usePull := false
 		switch cfg.Mode {
@@ -228,8 +232,9 @@ func (o *treeOps) PullCombine(v, w graph.V) {
 	}
 }
 
-// TraverseFrom runs a plain BFS from root in the given mode.
-func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tree, core.RunStats) {
+// TraverseFrom runs a plain BFS from root in the given mode, returning the
+// tree, the per-round direction trace, and timing stats.
+func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tree, []core.Direction, core.RunStats) {
 	n := g.N()
 	ops := &treeOps{parent: make([]int32, n), level: make([]int32, n)}
 	for i := range ops.parent {
@@ -246,14 +251,14 @@ func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tre
 		ops.level[root] = 0
 	}
 	cfg := &Config{Options: opt, Ready: ready, Mode: mode}
-	_, _, stats := Run(g, cfg, ops)
+	_, dirs, stats := Run(g, cfg, ops)
 
 	tree := &Tree{Parent: make([]graph.V, n), Level: make([]int32, n)}
 	for i := 0; i < n; i++ {
 		tree.Parent[i] = graph.V(ops.parent[i])
 		tree.Level[i] = ops.level[i]
 	}
-	return tree, stats
+	return tree, dirs, stats
 }
 
 // Reached returns the number of visited vertices in the tree.

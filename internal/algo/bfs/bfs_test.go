@@ -68,7 +68,7 @@ func TestTraverseAllModes(t *testing.T) {
 	want := refLevels(g, 0)
 	for _, m := range modes() {
 		opt := core.Options{Threads: 4}
-		tree, stats := TraverseFrom(g, 0, m, opt)
+		tree, _, stats := TraverseFrom(g, 0, m, opt)
 		checkTree(t, g, 0, tree, want)
 		if stats.Iterations == 0 {
 			t.Fatalf("mode %v: no rounds recorded", m)
@@ -80,7 +80,7 @@ func TestTraversePath(t *testing.T) {
 	g := gen.Path(100)
 	want := refLevels(g, 0)
 	for _, m := range modes() {
-		tree, _ := TraverseFrom(g, 0, m, core.Options{Threads: 2})
+		tree, _, _ := TraverseFrom(g, 0, m, core.Options{Threads: 2})
 		checkTree(t, g, 0, tree, want)
 		if tree.Level[99] != 99 {
 			t.Fatalf("mode %v: end level %d", m, tree.Level[99])
@@ -95,7 +95,7 @@ func TestTraverseDisconnected(t *testing.T) {
 	b.AddEdge(4, 5) // separate component
 	g := b.MustBuild()
 	for _, m := range modes() {
-		tree, _ := TraverseFrom(g, 0, m, core.Options{})
+		tree, _, _ := TraverseFrom(g, 0, m, core.Options{})
 		if tree.Reached() != 3 {
 			t.Fatalf("mode %v: reached %d, want 3", m, tree.Reached())
 		}
@@ -226,7 +226,7 @@ func TestEmptyAndMismatchedConfig(t *testing.T) {
 		t.Fatal("mismatched ready accepted")
 	}
 	empty := graph.NewBuilder(0).MustBuild()
-	tree, _ := TraverseFrom(empty, 0, Auto, core.Options{})
+	tree, _, _ := TraverseFrom(empty, 0, Auto, core.Options{})
 	if tree.Reached() != 0 {
 		t.Fatal("empty graph reached vertices")
 	}
@@ -242,7 +242,7 @@ func TestPushPullLevelsAgree(t *testing.T) {
 		}
 		want := refLevels(g, 0)
 		for _, m := range modes() {
-			tree, _ := TraverseFrom(g, 0, m, core.Options{Threads: 3})
+			tree, _, _ := TraverseFrom(g, 0, m, core.Options{Threads: 3})
 			for v := range want {
 				if tree.Level[v] != want[v] {
 					return false

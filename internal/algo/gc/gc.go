@@ -170,6 +170,10 @@ func runBoman(g *graph.CSR, part graph.Partition, opt Options, dir core.Directio
 	rowLocks := make([]atomicx.SpinLock, g.N())
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if opt.Canceled() {
+			res.Stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		// Phase 1: color each partition independently.
 		pool.Run(func(w int) { s.colorPartition(w) })
@@ -327,33 +331,42 @@ func ConflictRemoval(g *graph.CSR, part graph.Partition, opt Options) (*Result, 
 		colors[i] = -1
 	}
 	start := time.Now()
-	// seq_color_partition(B): border first, sequentially, conflict-free.
-	greedyColorSubset(g, colors, part.Border(g))
-	// Then all partitions in parallel; border vertices are fixed, interior
-	// vertices of different partitions are never adjacent.
-	pool := sched.NewPool(part.P)
-	defer pool.Close()
-	pool.Run(func(w int) {
-		lo, hi := part.Range(w)
-		taken := map[int32]bool{}
-		for v := lo; v < hi; v++ {
-			if colors[v] >= 0 {
-				continue
-			}
-			clear(taken)
-			for _, u := range g.Neighbors(v) {
-				if colors[u] >= 0 {
-					taken[colors[u]] = true
+	// Cancellation is polled between the two phases; a cancelled run
+	// returns the partially-colored state (uncolored vertices stay -1).
+	canceled := opt.Canceled()
+	if !canceled {
+		// seq_color_partition(B): border first, sequentially, conflict-free.
+		greedyColorSubset(g, colors, part.Border(g))
+		canceled = opt.Canceled()
+	}
+	if !canceled {
+		// Then all partitions in parallel; border vertices are fixed,
+		// interior vertices of different partitions are never adjacent.
+		pool := sched.NewPool(part.P)
+		defer pool.Close()
+		pool.Run(func(w int) {
+			lo, hi := part.Range(w)
+			taken := map[int32]bool{}
+			for v := lo; v < hi; v++ {
+				if colors[v] >= 0 {
+					continue
+				}
+				clear(taken)
+				for _, u := range g.Neighbors(v) {
+					if colors[u] >= 0 {
+						taken[colors[u]] = true
+					}
+				}
+				for c := int32(0); ; c++ {
+					if !taken[c] {
+						colors[v] = c
+						break
+					}
 				}
 			}
-			for c := int32(0); ; c++ {
-				if !taken[c] {
-					colors[v] = c
-					break
-				}
-			}
-		}
-	})
+		})
+	}
+	res.Stats.Canceled = canceled
 	res.Iterations = 1
 	res.Stats.Record(time.Since(start))
 	copy(res.Colors, colors)

@@ -66,6 +66,10 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 	candMark := frontier.NewBitmap(n)
 
 	for colored < n && res.Iterations < opt.MaxIters {
+		if opt.Canceled() {
+			res.Stats.Canceled = true
+			break
+		}
 		start = time.Now()
 		switch policy.Decide(res.Iterations, progress, conflicts, n-colored) {
 		case core.SwitchDirection:

@@ -105,6 +105,10 @@ func Boruvka(g *graph.CSR, opt Options, dir core.Direction) *Result {
 	parent := make([]int32, n)
 
 	for len(avail) > 1 {
+		if opt.Canceled() {
+			res.Stats.Canceled = true
+			break
+		}
 		iterStart := time.Now()
 
 		// ---- Phase FM: find minimum outgoing edges ----

@@ -83,6 +83,10 @@ func PushDirected(dg *DirectedGraph, opt Options) ([]float64, core.RunStats) {
 	base := (1 - opt.Damping) / float64(n)
 	baseBits := math.Float64bits(base)
 	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -133,6 +137,10 @@ func PullDirected(dg *DirectedGraph, opt Options) ([]float64, core.RunStats) {
 	next := make([]float64, n)
 	base := (1 - opt.Damping) / float64(n)
 	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
 			for vi := lo; vi < hi; vi++ {

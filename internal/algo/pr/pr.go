@@ -21,21 +21,40 @@ import (
 	"pushpull/internal/sched"
 )
 
+// DefaultDamping is the damp factor f used when none is set explicitly.
+const DefaultDamping = 0.85
+
+// DefaultIterations is the power-iteration count L used when none is set.
+const DefaultIterations = 20
+
 // Options configures a PageRank run.
 type Options struct {
 	core.Options
 	// Iterations is the power-iteration count L (default 20).
 	Iterations int
-	// Damping is the damp factor f (default 0.85).
+	// Damping is the damp factor f. A zero value left by struct literal
+	// means "use DefaultDamping"; to request a genuine zero-damping run
+	// (pure teleport distribution), call SetDamping(0) instead of
+	// assigning the field.
 	Damping float64
+	// dampingSet distinguishes an explicit SetDamping(0) from the zero
+	// value of the struct, so zero damping is expressible.
+	dampingSet bool
+}
+
+// SetDamping pins the damp factor explicitly, including zero; defaults()
+// will not rewrite a value set through here.
+func (o *Options) SetDamping(f float64) {
+	o.Damping = f
+	o.dampingSet = true
 }
 
 func (o *Options) defaults() {
 	if o.Iterations <= 0 {
-		o.Iterations = 20
+		o.Iterations = DefaultIterations
 	}
-	if o.Damping == 0 {
-		o.Damping = 0.85
+	if !o.dampingSet && o.Damping == 0 {
+		o.Damping = DefaultDamping
 	}
 }
 
@@ -92,6 +111,10 @@ func Push(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
 	base := (1 - opt.Damping) / float64(n)
 	baseBits := math.Float64bits(base)
 	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -141,6 +164,10 @@ func Pull(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
 	next := make([]float64, n)
 	base := (1 - opt.Damping) / float64(n)
 	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
 			for vi := lo; vi < hi; vi++ {
@@ -190,6 +217,10 @@ func PushPA(pa *graph.PAGraph, opt Options) ([]float64, core.RunStats) {
 	defer pool.Close()
 	barrier := sched.NewBarrier(t)
 	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
 		start := time.Now()
 		pool.Run(func(w int) {
 			lo, hi := pa.Part.Range(w)

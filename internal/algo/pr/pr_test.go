@@ -140,8 +140,45 @@ func TestOnIterationHook(t *testing.T) {
 func TestDefaults(t *testing.T) {
 	var o Options
 	o.defaults()
-	if o.Iterations != 20 || o.Damping != 0.85 {
+	if o.Iterations != 20 || o.Damping != DefaultDamping {
 		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestSetDampingZeroIsExpressible(t *testing.T) {
+	// Assigning Damping = 0 means "default" for zero-value compatibility;
+	// SetDamping(0) pins a genuine zero-damping run.
+	var implicit Options
+	implicit.Damping = 0
+	implicit.defaults()
+	if implicit.Damping != DefaultDamping {
+		t.Fatalf("implicit zero rewritten to %v, want default %v", implicit.Damping, DefaultDamping)
+	}
+	var explicit Options
+	explicit.SetDamping(0)
+	explicit.defaults()
+	if explicit.Damping != 0 {
+		t.Fatalf("SetDamping(0) rewritten to %v", explicit.Damping)
+	}
+	var pinned Options
+	pinned.SetDamping(0.5)
+	pinned.defaults()
+	if pinned.Damping != 0.5 {
+		t.Fatalf("SetDamping(0.5) rewritten to %v", pinned.Damping)
+	}
+	// Zero damping yields the uniform teleport distribution.
+	g, err := gen.ErdosRenyi(100, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Iterations: 5}
+	opt.SetDamping(0)
+	ranks, _ := Pull(g, opt)
+	want := 1 / float64(g.N())
+	for v, r := range ranks {
+		if math.Abs(r-want) > 1e-15 {
+			t.Fatalf("zero-damping rank[%d] = %g, want %g", v, r, want)
+		}
 	}
 }
 

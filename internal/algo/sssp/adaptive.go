@@ -75,6 +75,10 @@ func Adaptive(g *graph.CSR, opt Options) *AdaptiveResult {
 		}
 		res.Epochs++
 		for itr := 0; len(cur) > 0; itr++ {
+			if opt.Canceled() {
+				res.Stats.Canceled = true
+				break
+			}
 			start := time.Now()
 			res.Inner++
 			// Direction decision: push relaxes only the bucket's edges;
@@ -115,6 +119,9 @@ func Adaptive(g *graph.CSR, opt Options) *AdaptiveResult {
 			el := time.Since(start)
 			res.Stats.Record(el)
 			opt.Tick(res.Inner-1, el)
+		}
+		if res.Stats.Canceled {
+			break
 		}
 	}
 	for i := range res.Dist {

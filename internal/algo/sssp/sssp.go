@@ -155,6 +155,10 @@ func Push(g *graph.CSR, opt Options) *Result {
 		}
 		res.Epochs++
 		for itr := 0; len(cur) > 0; itr++ {
+			if opt.Canceled() {
+				res.Stats.Canceled = true
+				break
+			}
 			start := time.Now()
 			res.Inner++
 			sched.ParallelFor(len(cur), t, sched.Static, 0, func(w, lo, hi int) {
@@ -204,6 +208,9 @@ func Push(g *graph.CSR, opt Options) *Result {
 			res.Stats.Record(el)
 			opt.Tick(res.Inner-1, el)
 		}
+		if res.Stats.Canceled {
+			break
+		}
 	}
 	for i := range res.Dist {
 		res.Dist[i] = atomicx.LoadFloat64(&distBits[i])
@@ -244,9 +251,13 @@ func Pull(g *graph.CSR, opt Options) *Result {
 	changed := make([]bool, t)
 
 	b := 0
-	for {
+	for !res.Stats.Canceled {
 		res.Epochs++
 		for itr := 0; ; itr++ {
+			if opt.Canceled() {
+				res.Stats.Canceled = true
+				break
+			}
 			start := time.Now()
 			res.Inner++
 			for i := range changed {

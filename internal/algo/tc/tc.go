@@ -72,7 +72,12 @@ func Push(g *graph.CSR, opt Options) ([]int64, core.RunStats) {
 	start := time.Now()
 	t := sched.Clamp(opt.Threads, n)
 	// Dynamic schedule: power-law degree skew makes static blocks lopsided.
+	var skipped atomic.Bool
 	sched.ParallelFor(n, t, sched.Dynamic, 64, func(w, lo, hi int) {
+		if opt.Canceled() {
+			skipped.Store(true) // skip remaining chunks; counts stay partial
+			return
+		}
 		for vi := lo; vi < hi; vi++ {
 			v := graph.V(vi)
 			adj := g.Neighbors(v)
@@ -86,6 +91,7 @@ func Push(g *graph.CSR, opt Options) ([]int64, core.RunStats) {
 			}
 		}
 	})
+	stats.Canceled = skipped.Load()
 	stats.Record(time.Since(start))
 	finalize(tc, t)
 	return tc, stats
@@ -102,7 +108,12 @@ func Pull(g *graph.CSR, opt Options) ([]int64, core.RunStats) {
 	}
 	start := time.Now()
 	t := sched.Clamp(opt.Threads, n)
+	var skipped atomic.Bool
 	sched.ParallelFor(n, t, sched.Dynamic, 64, func(w, lo, hi int) {
+		if opt.Canceled() {
+			skipped.Store(true) // skip remaining chunks; counts stay partial
+			return
+		}
 		for vi := lo; vi < hi; vi++ {
 			v := graph.V(vi)
 			adj := g.Neighbors(v)
@@ -113,6 +124,7 @@ func Pull(g *graph.CSR, opt Options) ([]int64, core.RunStats) {
 			tc[v] = local // only t[v] writes tc[v]
 		}
 	})
+	stats.Canceled = skipped.Load()
 	stats.Record(time.Since(start))
 	finalize(tc, t)
 	return tc, stats
@@ -134,28 +146,41 @@ func PushPA(pa *graph.PAGraph, opt Options) ([]int64, core.RunStats) {
 	pool := sched.NewPool(p)
 	defer pool.Close()
 	barrier := sched.NewBarrier(p)
+	// Cancellation is polled at phase granularity: a worker that observes
+	// it skips its loops but still reaches every barrier, so the pool's
+	// lockstep protocol stays intact.
+	var skipped atomic.Bool
 	pool.Run(func(w int) {
 		lo, hi := pa.Part.Range(w)
 		// Phase 1: local targets (owner(w1) == w), plain adds.
-		for v := lo; v < hi; v++ {
-			adj := g.Neighbors(v)
-			for _, w1 := range pa.Local(v) {
-				hits := intersectCount(adj, g.Neighbors(w1))
-				tc[w1] += int64(hits)
+		if opt.Canceled() {
+			skipped.Store(true)
+		} else {
+			for v := lo; v < hi; v++ {
+				adj := g.Neighbors(v)
+				for _, w1 := range pa.Local(v) {
+					hits := intersectCount(adj, g.Neighbors(w1))
+					tc[w1] += int64(hits)
+				}
 			}
 		}
 		barrier.Wait()
 		// Phase 2: remote targets, atomics.
-		for v := lo; v < hi; v++ {
-			adj := g.Neighbors(v)
-			for _, w1 := range pa.Remote(v) {
-				hits := intersectCount(adj, g.Neighbors(w1))
-				if hits > 0 {
-					atomic.AddInt64(&tc[w1], int64(hits))
+		if opt.Canceled() {
+			skipped.Store(true)
+		} else {
+			for v := lo; v < hi; v++ {
+				adj := g.Neighbors(v)
+				for _, w1 := range pa.Remote(v) {
+					hits := intersectCount(adj, g.Neighbors(w1))
+					if hits > 0 {
+						atomic.AddInt64(&tc[w1], int64(hits))
+					}
 				}
 			}
 		}
 	})
+	stats.Canceled = skipped.Load()
 	stats.Record(time.Since(start))
 	finalize(tc, p)
 	return tc, stats

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,6 +53,16 @@ type Options struct {
 	// iteration — the hook behind the per-iteration series of Figures 1,
 	// 2 and 4.
 	OnIteration func(iter int, elapsed time.Duration)
+	// Ctx, when non-nil, is polled between iterations (and between work
+	// chunks of single-pass algorithms): once it is cancelled the run
+	// stops early and returns its partial result with RunStats.Canceled
+	// set. A nil Ctx never cancels.
+	Ctx context.Context
+}
+
+// Canceled reports whether the run's context has been cancelled.
+func (o Options) Canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // EffectiveThreads resolves Threads against the runtime.
@@ -105,6 +116,9 @@ type RunStats struct {
 	Iterations   int
 	Elapsed      time.Duration
 	PerIteration []time.Duration
+	// Canceled marks a run stopped early by Options.Ctx; the result the
+	// run returned is partial.
+	Canceled bool
 }
 
 // AvgIteration returns the mean per-iteration time.

@@ -1,11 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
-	"pushpull/internal/algo/pr"
-	"pushpull/internal/algo/tc"
-	"pushpull/internal/core"
+	"pushpull"
 	"pushpull/internal/dm"
 	"pushpull/internal/dm/dalgo"
 	"pushpull/internal/gen"
@@ -71,30 +70,39 @@ func Ablation(cfg Config) error {
 		return err
 	}
 
+	ctx := context.Background()
 	fmt.Fprintf(cfg.Out, "schedule ablation on orc (skewed degrees):\n")
 	fmt.Fprintf(cfg.Out, "%-24s %10s %10s\n", "", "static", "dynamic")
 	prTimes := make(map[sched.Schedule]string)
 	for _, s := range []sched.Schedule{sched.Static, sched.Dynamic} {
-		opt := pr.Options{Iterations: 5}
-		opt.Threads = cfg.Threads
-		opt.Schedule = s
-		_, st := pr.Push(g, opt)
-		prTimes[s] = ms(st.AvgIteration())
+		rep, err := pushpull.Run(ctx, g, "pr",
+			pushpull.WithDirection(pushpull.Push), pushpull.WithThreads(cfg.Threads),
+			pushpull.WithSchedule(s), pushpull.WithIterations(5))
+		if err != nil {
+			return err
+		}
+		prTimes[s] = ms(rep.Stats.AvgIteration())
 	}
 	fmt.Fprintf(cfg.Out, "%-24s %10s %10s\n", "PR push [ms/iter]",
 		prTimes[sched.Static], prTimes[sched.Dynamic])
 	// TC uses dynamic internally; compare against a static run of the
 	// same kernel by timing the pull kernel under both decompositions.
-	tcOpt := tc.Options{}
-	tcOpt.Threads = cfg.Threads
-	_, tcDyn := tc.Pull(g, tcOpt)
-	seqStats := func() core.RunStats {
-		var st core.RunStats
-		opt := tc.Options{}
-		opt.Threads = 1
-		_, st = tc.Pull(g, opt)
-		return st
-	}()
+	tcPull := func(threads int) (pushpull.RunStats, error) {
+		rep, err := pushpull.Run(ctx, g, "tc",
+			pushpull.WithDirection(pushpull.Pull), pushpull.WithThreads(threads))
+		if err != nil {
+			return pushpull.RunStats{}, err
+		}
+		return rep.Stats, nil
+	}
+	tcDyn, err := tcPull(cfg.Threads)
+	if err != nil {
+		return err
+	}
+	seqStats, err := tcPull(1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(cfg.Out, "%-24s %10s %10s   (T=1 vs dynamic T=%d)\n",
 		"TC pull total [s]", secs(seqStats.Elapsed), secs(tcDyn.Elapsed), cfg.Threads)
 
@@ -102,11 +110,15 @@ func Ablation(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "%-6s %14s %10s %16s\n", "P", "remote slots", "fraction", "PR+PA [ms/iter]")
 	for _, p := range []int{2, 4, 8, 16, 32} {
 		pa := graph.BuildPA(g, graph.NewPartition(g.N(), p))
-		opt := pr.Options{Iterations: 5}
-		opt.Threads = cfg.Threads
-		_, st := pr.PushPA(pa, opt)
+		rep, err := pushpull.Run(ctx, g, "pr",
+			pushpull.WithThreads(cfg.Threads),
+			pushpull.WithPartitionAwareGraph(pa),
+			pushpull.WithIterations(5))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(cfg.Out, "%-6d %14d %9.1f%% %16s\n", p, pa.RemoteEdges(),
-			100*float64(pa.RemoteEdges())/float64(g.M()), ms(st.AvgIteration()))
+			100*float64(pa.RemoteEdges())/float64(g.M()), ms(rep.Stats.AvgIteration()))
 	}
 	// The §5 extremes: a bipartite graph split across two owners pushes
 	// every update remotely; a component-aligned partition pushes none.

@@ -1,16 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"pushpull/internal/algo/bc"
-	"pushpull/internal/algo/bfs"
-	"pushpull/internal/algo/gc"
-	"pushpull/internal/algo/mst"
-	"pushpull/internal/algo/pr"
-	"pushpull/internal/algo/sssp"
-	"pushpull/internal/core"
+	"pushpull"
 	"pushpull/internal/dm"
 	"pushpull/internal/dm/dalgo"
 	"pushpull/internal/graph"
@@ -28,34 +23,32 @@ func Fig1(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		part := graph.NewPartition(g.N(), cfg.Threads)
-		collect := func(run func(opt gc.Options) (*gc.Result, error)) ([]time.Duration, int, error) {
+		collect := func(opts ...pushpull.Option) ([]time.Duration, int, error) {
 			var per []time.Duration
-			opt := gc.Options{}
-			opt.Threads = cfg.Threads
-			opt.OnIteration = func(i int, d time.Duration) {
-				if i < maxShown {
-					per = append(per, d)
-				}
-			}
-			res, err := run(opt)
+			opts = append(opts,
+				pushpull.WithThreads(cfg.Threads),
+				pushpull.WithIterationHook(func(i int, d time.Duration) {
+					if i < maxShown {
+						per = append(per, d)
+					}
+				}))
+			rep, err := pushpull.Run(context.Background(), g, "gc", opts...)
 			if err != nil {
 				return nil, 0, err
 			}
-			return per, res.Iterations, nil
+			return per, rep.Stats.Iterations, nil
 		}
-		pull, pullIters, err := collect(func(opt gc.Options) (*gc.Result, error) { return gc.Pull(g, part, opt) })
+		pull, pullIters, err := collect(pushpull.WithDirection(pushpull.Pull))
 		if err != nil {
 			return err
 		}
-		push, pushIters, err := collect(func(opt gc.Options) (*gc.Result, error) { return gc.Push(g, part, opt) })
+		push, pushIters, err := collect(pushpull.WithDirection(pushpull.Push))
 		if err != nil {
 			return err
 		}
-		grs, grsIters, err := collect(func(opt gc.Options) (*gc.Result, error) {
-			opt.MaxIters = 4096
-			return gc.GrS(g, opt, core.Push, 0.1), nil
-		})
+		grs, grsIters, err := collect(pushpull.WithDirection(pushpull.Push),
+			pushpull.WithMaxIters(4096),
+			pushpull.WithSwitchPolicy(&pushpull.GreedySwitch{Fraction: 0.1, Total: g.N()}))
 		if err != nil {
 			return err
 		}
@@ -94,20 +87,26 @@ func Fig2(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		collect := func(run func(opt sssp.Options) *sssp.Result) []time.Duration {
+		collect := func(dir pushpull.Direction) ([]time.Duration, error) {
 			var per []time.Duration
-			opt := sssp.Options{Source: 0}
-			opt.Threads = cfg.Threads
-			opt.OnIteration = func(i int, d time.Duration) {
-				if i < maxShown {
-					per = append(per, d)
-				}
-			}
-			run(opt)
-			return per
+			_, err := pushpull.Run(context.Background(), g, "sssp",
+				pushpull.WithDirection(dir), pushpull.WithThreads(cfg.Threads),
+				pushpull.WithSource(0),
+				pushpull.WithIterationHook(func(i int, d time.Duration) {
+					if i < maxShown {
+						per = append(per, d)
+					}
+				}))
+			return per, err
 		}
-		push := collect(func(opt sssp.Options) *sssp.Result { return sssp.Push(g, opt) })
-		pull := collect(func(opt sssp.Options) *sssp.Result { return sssp.Pull(g, opt) })
+		push, err := collect(pushpull.Push)
+		if err != nil {
+			return err
+		}
+		pull, err := collect(pushpull.Pull)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(cfg.Out, "%s\n%-5s %10s %10s\n", name, "iter", "Pushing", "Pulling")
 		rows := len(push)
 		if len(pull) > rows {
@@ -130,10 +129,19 @@ func Fig2(cfg Config) error {
 	}
 	fmt.Fprintf(cfg.Out, "Δ sweep (orc)\n%-10s %12s %12s\n", "Delta", "Pushing [ms]", "Pulling [ms]")
 	for _, delta := range []float64{5, 20, 80, 320, 1280, 5120} {
-		opt := sssp.Options{Source: 0, Delta: delta}
-		opt.Threads = cfg.Threads
-		push := sssp.Push(g, opt)
-		pull := sssp.Pull(g, opt)
+		sweep := func(dir pushpull.Direction) (*pushpull.Report, error) {
+			return pushpull.Run(context.Background(), g, "sssp",
+				pushpull.WithDirection(dir), pushpull.WithThreads(cfg.Threads),
+				pushpull.WithSource(0), pushpull.WithDelta(delta))
+		}
+		push, err := sweep(pushpull.Push)
+		if err != nil {
+			return err
+		}
+		pull, err := sweep(pushpull.Pull)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(cfg.Out, "%-10.0f %12s %12s\n", delta,
 			ms(push.Stats.Elapsed), ms(pull.Stats.Elapsed))
 	}
@@ -234,10 +242,22 @@ func Fig4(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	opt := mst.Options{}
-	opt.Threads = cfg.Threads
-	push := mst.Boruvka(g, opt, core.Push)
-	pull := mst.Boruvka(g, opt, core.Pull)
+	boruvka := func(dir pushpull.Direction) (*pushpull.MSTResult, error) {
+		rep, err := pushpull.Run(context.Background(), g, "mst",
+			pushpull.WithDirection(dir), pushpull.WithThreads(cfg.Threads))
+		if err != nil {
+			return nil, err
+		}
+		return rep.Result.(*pushpull.MSTResult), nil
+	}
+	push, err := boruvka(pushpull.Push)
+	if err != nil {
+		return err
+	}
+	pull, err := boruvka(pushpull.Pull)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(cfg.Out, "%-5s %12s %12s %12s %12s %12s %12s\n", "iter",
 		"FM push", "FM pull", "BMT push", "BMT pull", "M push", "M pull")
 	rows := push.Iterations
@@ -274,13 +294,17 @@ func Fig5(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "%-8s %12s %12s %12s %12s %12s %12s\n", "threads",
 		"BFS1 push", "BFS1 pull", "BFS2 push", "BFS2 pull", "total push", "total pull")
 	for t := 1; t <= cfg.Threads; t *= 2 {
-		row := map[bfs.Mode]*bc.Result{}
-		for _, mode := range []bfs.Mode{bfs.ForcePush, bfs.ForcePull} {
-			opt := bc.Options{Sources: sources, Mode: mode}
-			opt.Threads = t
-			row[mode] = bc.Run(g, opt)
+		row := map[pushpull.Direction]*pushpull.BCResult{}
+		for _, dir := range []pushpull.Direction{pushpull.Push, pushpull.Pull} {
+			rep, err := pushpull.Run(context.Background(), g, "bc",
+				pushpull.WithDirection(dir), pushpull.WithThreads(t),
+				pushpull.WithSources(sources))
+			if err != nil {
+				return err
+			}
+			row[dir] = rep.Result.(*pushpull.BCResult)
 		}
-		push, pull := row[bfs.ForcePush], row[bfs.ForcePull]
+		push, pull := row[pushpull.Push], row[pushpull.Pull]
 		fmt.Fprintf(cfg.Out, "%-8d %12s %12s %12s %12s %12s %12s\n", t,
 			ms(push.Phase1), ms(pull.Phase1),
 			ms(push.Phase2), ms(pull.Phase2),
@@ -302,12 +326,27 @@ func Fig6(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		opt := pr.Options{Iterations: iters}
-		opt.Threads = cfg.Threads
-		_, sPush := pr.Push(g, opt)
-		pa := graph.BuildPA(g, graph.NewPartition(g.N(), cfg.Threads))
-		_, sPA := pr.PushPA(pa, opt)
-		_, sPull := pr.Pull(g, opt)
+		ranks := func(opts ...pushpull.Option) (pushpull.RunStats, error) {
+			rep, err := pushpull.Run(context.Background(), g, "pr", append(opts,
+				pushpull.WithThreads(cfg.Threads), pushpull.WithIterations(iters))...)
+			if err != nil {
+				return pushpull.RunStats{}, err
+			}
+			return rep.Stats, nil
+		}
+		sPush, err := ranks(pushpull.WithDirection(pushpull.Push))
+		if err != nil {
+			return err
+		}
+		sPA, err := ranks(pushpull.WithDirection(pushpull.Push),
+			pushpull.WithPartitionAwareness(), pushpull.WithPartitions(cfg.Threads))
+		if err != nil {
+			return err
+		}
+		sPull, err := ranks(pushpull.WithDirection(pushpull.Pull))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(cfg.Out, "%-8s %10s %10s %10s\n", name,
 			ms(sPush.AvgIteration()), ms(sPA.AvgIteration()), ms(sPull.AvgIteration()))
 	}
@@ -319,20 +358,34 @@ func Fig6(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		part := graph.NewPartition(g.N(), cfg.Threads)
-		opt := gc.Options{}
-		opt.Threads = cfg.Threads
-		push, err := gc.Push(g, part, opt)
+		iters := func(algo string, opts ...pushpull.Option) (int, error) {
+			rep, err := pushpull.Run(context.Background(), g, algo, append(opts,
+				pushpull.WithDirection(pushpull.Push), pushpull.WithThreads(cfg.Threads))...)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Stats.Iterations, nil
+		}
+		push, err := iters("gc")
 		if err != nil {
 			return err
 		}
-		feOpt := gc.Options{MaxIters: 4096}
-		feOpt.Threads = cfg.Threads
-		fe := gc.FrontierExploit(g, feOpt, core.Push, nil)
-		gs := gc.GS(g, feOpt, core.Push, 1.0)
-		grs := gc.GrS(g, feOpt, core.Push, 0.1)
+		fe, err := iters("gc-fe", pushpull.WithMaxIters(4096))
+		if err != nil {
+			return err
+		}
+		gs, err := iters("gc", pushpull.WithMaxIters(4096),
+			pushpull.WithSwitchPolicy(&pushpull.GenericSwitch{Threshold: 1.0}))
+		if err != nil {
+			return err
+		}
+		grs, err := iters("gc", pushpull.WithMaxIters(4096),
+			pushpull.WithSwitchPolicy(&pushpull.GreedySwitch{Fraction: 0.1, Total: g.N()}))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(cfg.Out, "%-8s %8d %8d %8d %8d\n", name,
-			push.Iterations, fe.Iterations, gs.Iterations, grs.Iterations)
+			push, fe, gs, grs)
 	}
 	return nil
 }

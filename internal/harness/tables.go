@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
+	"pushpull"
 	"pushpull/internal/algo/pr"
 	"pushpull/internal/algo/tc"
 	"pushpull/internal/core"
@@ -157,31 +159,28 @@ func Table3(cfg Config) error {
 	}
 	fmt.Fprintln(cfg.Out)
 	const iters = 10
-	prRow := func(label string, run func(g *graph.CSR) core.RunStats) error {
+	prRow := func(label string, dir pushpull.Direction) error {
 		fmt.Fprintf(cfg.Out, "%-10s", label)
 		for _, name := range workloadNames {
 			g, err := loadGraph(name, cfg, false)
 			if err != nil {
 				return err
 			}
-			stats := run(g)
-			fmt.Fprintf(cfg.Out, " %10s", ms(stats.AvgIteration()))
+			rep, err := pushpull.Run(context.Background(), g, "pr",
+				pushpull.WithDirection(dir), pushpull.WithThreads(cfg.Threads),
+				pushpull.WithIterations(iters))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %10s", ms(rep.Stats.AvgIteration()))
 		}
 		fmt.Fprintln(cfg.Out)
 		return nil
 	}
-	opt := pr.Options{Iterations: iters}
-	opt.Threads = cfg.Threads
-	if err := prRow("Pushing", func(g *graph.CSR) core.RunStats {
-		_, s := pr.Push(g, opt)
-		return s
-	}); err != nil {
+	if err := prRow("Pushing", pushpull.Push); err != nil {
 		return err
 	}
-	if err := prRow("Pulling", func(g *graph.CSR) core.RunStats {
-		_, s := pr.Pull(g, opt)
-		return s
-	}); err != nil {
+	if err := prRow("Pulling", pushpull.Pull); err != nil {
 		return err
 	}
 
@@ -192,31 +191,27 @@ func Table3(cfg Config) error {
 	fmt.Fprintln(cfg.Out)
 	tcCfg := cfg
 	tcCfg.Scale = cfg.Scale * 0.5
-	tcRow := func(label string, run func(g *graph.CSR) core.RunStats) error {
+	tcRow := func(label string, dir pushpull.Direction) error {
 		fmt.Fprintf(cfg.Out, "%-10s", label)
 		for _, name := range workloadNames {
 			g, err := loadGraph(name, tcCfg, false)
 			if err != nil {
 				return err
 			}
-			stats := run(g)
-			fmt.Fprintf(cfg.Out, " %10s", secs(stats.Elapsed))
+			rep, err := pushpull.Run(context.Background(), g, "tc",
+				pushpull.WithDirection(dir), pushpull.WithThreads(cfg.Threads))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %10s", secs(rep.Stats.Elapsed))
 		}
 		fmt.Fprintln(cfg.Out)
 		return nil
 	}
-	tcOpt := tc.Options{}
-	tcOpt.Threads = cfg.Threads
-	if err := tcRow("Pushing", func(g *graph.CSR) core.RunStats {
-		_, s := tc.Push(g, tcOpt)
-		return s
-	}); err != nil {
+	if err := tcRow("Pushing", pushpull.Push); err != nil {
 		return err
 	}
-	return tcRow("Pulling", func(g *graph.CSR) core.RunStats {
-		_, s := tc.Pull(g, tcOpt)
-		return s
-	})
+	return tcRow("Pulling", pushpull.Pull)
 }
 
 // machineProfile maps counted events and cache misses to a modeled

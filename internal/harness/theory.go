@@ -1,10 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"pushpull/internal/algo/bfs"
+	"pushpull"
 	prdirect "pushpull/internal/algo/pr"
 	"pushpull/internal/algo/sssp"
 	"pushpull/internal/core"
@@ -108,7 +109,13 @@ func LATable(cfg Config) error {
 			return fmt.Errorf("harness: LA PageRank (%v) diverges from direct: %g", dir, d)
 		}
 	}
-	tree, _ := bfs.TraverseFrom(g, 0, bfs.ForcePush, core.Options{Threads: cfg.Threads})
+	bfsRep, err := pushpull.Run(context.Background(), g, "bfs",
+		pushpull.WithDirection(pushpull.Push), pushpull.WithThreads(cfg.Threads),
+		pushpull.WithSource(0))
+	if err != nil {
+		return err
+	}
+	tree := bfsRep.Tree()
 	for _, dir := range []core.Direction{core.Pull, core.Push} {
 		start := time.Now()
 		levels := la.BFSLevels(g, 0, dir, cfg.Threads)

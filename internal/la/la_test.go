@@ -144,7 +144,7 @@ func TestBFSLevelsLAMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, _ := bfs.TraverseFrom(g, 0, bfs.ForcePush, core.Options{})
+	tree, _, _ := bfs.TraverseFrom(g, 0, bfs.ForcePush, core.Options{})
 	for _, dir := range []core.Direction{core.Push, core.Pull} {
 		got := BFSLevels(g, 0, dir, 4)
 		for v := range got {

@@ -1,0 +1,211 @@
+package pushpull
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/sched"
+)
+
+// Direction selects the update direction of a run — the paper's central
+// dichotomy, lifted to a run parameter instead of a per-package function
+// choice. Auto lets the algorithm pick (or switch per iteration, for the
+// traversal algorithms that support direction optimization).
+type Direction int
+
+const (
+	// Auto lets the engine choose: direction-optimizing switching where
+	// the algorithm supports it (bfs, sssp), otherwise the direction the
+	// paper reports as the sane default for that algorithm.
+	Auto Direction = iota
+	// Push writes updates outward into vertices owned by other threads.
+	Push
+	// Pull reads neighbor state and updates only owned vertices.
+	Pull
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Auto:
+		return "auto"
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// dirFromCore lifts an internal direction into the public one.
+func dirFromCore(d core.Direction) Direction {
+	if d == core.Pull {
+		return Pull
+	}
+	return Push
+}
+
+// Config is the resolved option set an Algorithm.Run receives. Zero
+// values mean "algorithm default" throughout. Callers normally never
+// build one directly — Run assembles it from functional options — but
+// externally registered algorithms read it.
+type Config struct {
+	// Direction is the requested update direction (Auto, Push, Pull).
+	Direction Direction
+	// Threads is the worker count T (≤0: GOMAXPROCS).
+	Threads int
+	// Schedule picks the parallel-loop schedule (Static, Dynamic).
+	Schedule Schedule
+	// Switch, when set, is the adaptive policy (GenericSwitch /
+	// GreedySwitch) steering direction changes or sequential fallback.
+	Switch SwitchPolicy
+	// Probes enables deterministic instrumented execution: the run's
+	// memory events are aggregated into Report.Counters. Only pr, tc,
+	// gc and sssp have instrumented variants.
+	Probes bool
+	// Hook receives the wall time of every completed iteration.
+	Hook func(iter int, elapsed time.Duration)
+	// Source is the root/source vertex for traversal algorithms.
+	Source V
+	// Sources lists source vertices for multi-source algorithms (bc);
+	// nil means all vertices.
+	Sources []V
+	// Iterations bounds iteration-count algorithms (pr); 0 = default.
+	Iterations int
+	// Damping is the PageRank damp factor when DampingSet is true;
+	// otherwise the algorithm default (pr.DefaultDamping) applies.
+	Damping    float64
+	DampingSet bool
+	// Delta is the Δ-stepping bucket width; 0 = heuristic.
+	Delta float64
+	// MaxIters bounds conflict-resolution iterations (gc); 0 = default.
+	MaxIters int
+	// Partitions is the partition count for partition-based algorithms
+	// (gc, partition-aware pr/tc); 0 = the resolved thread count.
+	Partitions int
+	// PartitionAware requests the Partition-Awareness acceleration
+	// (§5, Algorithm 8) for push-direction pr and tc.
+	PartitionAware bool
+	// PA optionally supplies a prebuilt Partition-Awareness graph so
+	// repeated runs over the same layout skip the O(m) BuildPA; set it
+	// through WithPartitionAwareGraph, which also implies PartitionAware.
+	PA *PAGraph
+}
+
+// Option configures one Run call.
+type Option func(*Config)
+
+// WithDirection pins the update direction (Push, Pull) or restores the
+// default Auto.
+func WithDirection(d Direction) Option { return func(c *Config) { c.Direction = d } }
+
+// WithThreads sets the worker count T (≤0 means GOMAXPROCS).
+func WithThreads(t int) Option { return func(c *Config) { c.Threads = t } }
+
+// WithSchedule picks the parallel-loop schedule (Static or Dynamic).
+func WithSchedule(s Schedule) Option { return func(c *Config) { c.Schedule = s } }
+
+// WithSwitchPolicy installs an adaptive switching policy: a
+// *GenericSwitch flips push↔pull when conflicts dominate progress, a
+// *GreedySwitch abandons parallelism for the optimized sequential scheme
+// on the small remainder (§5). The built-in policies are safe to reuse
+// across Run calls (the engine re-instantiates them per run); a custom
+// stateful policy must be treated as single-use and single-goroutine.
+func WithSwitchPolicy(p SwitchPolicy) Option { return func(c *Config) { c.Switch = p } }
+
+// WithProbes runs the deterministic instrumented variant and aggregates
+// its event counts into Report.Counters (pr, tc, gc, sssp only).
+func WithProbes() Option { return func(c *Config) { c.Probes = true } }
+
+// WithIterationHook receives each completed iteration's wall time — the
+// hook behind the paper's per-iteration series.
+func WithIterationHook(h func(iter int, elapsed time.Duration)) Option {
+	return func(c *Config) { c.Hook = h }
+}
+
+// WithSource sets the root/source vertex for traversal algorithms.
+func WithSource(v V) Option { return func(c *Config) { c.Source = v } }
+
+// WithSources sets the source set for multi-source algorithms (bc).
+func WithSources(vs []V) Option { return func(c *Config) { c.Sources = vs } }
+
+// WithIterations bounds iteration-count algorithms (pr's L).
+func WithIterations(n int) Option { return func(c *Config) { c.Iterations = n } }
+
+// WithDamping pins the PageRank damp factor explicitly — including zero,
+// which the default-detection can otherwise not distinguish.
+func WithDamping(f float64) Option {
+	return func(c *Config) { c.Damping, c.DampingSet = f, true }
+}
+
+// WithDelta sets the Δ-stepping bucket width (0 = heuristic).
+func WithDelta(d float64) Option { return func(c *Config) { c.Delta = d } }
+
+// WithMaxIters bounds conflict-resolution iterations (gc's L).
+func WithMaxIters(n int) Option { return func(c *Config) { c.MaxIters = n } }
+
+// WithPartitions sets the partition count for partition-based runs.
+func WithPartitions(p int) Option { return func(c *Config) { c.Partitions = p } }
+
+// WithPartitionAwareness enables the Partition-Awareness acceleration
+// (§5) for push-direction pr and tc.
+func WithPartitionAwareness() Option { return func(c *Config) { c.PartitionAware = true } }
+
+// WithPartitionAwareGraph enables Partition-Awareness with a prebuilt
+// PAGraph (BuildPA), sparing repeated runs the O(m) layout construction.
+func WithPartitionAwareGraph(pa *PAGraph) Option {
+	return func(c *Config) { c.PA, c.PartitionAware = pa, true }
+}
+
+// ---- helpers for algorithm adapters ----
+
+// coreOptions lowers the shared fields into the internal option struct,
+// carrying the cancellation context into the per-iteration loops.
+func (c *Config) coreOptions(ctx context.Context) core.Options {
+	return core.Options{Threads: c.Threads, Schedule: c.Schedule, OnIteration: c.Hook, Ctx: ctx}
+}
+
+// resolveDir maps the requested direction onto an internal one, using
+// def when the caller left Auto.
+func (c *Config) resolveDir(def core.Direction) core.Direction {
+	switch c.Direction {
+	case Push:
+		return core.Push
+	case Pull:
+		return core.Pull
+	default:
+		return def
+	}
+}
+
+// effectiveThreads resolves Threads against the runtime, capped by n.
+func (c *Config) effectiveThreads(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return sched.Clamp(c.Threads, n)
+}
+
+// partitions resolves the partition count (default: effective threads).
+func (c *Config) partitions(n int) int {
+	if c.Partitions > 0 {
+		return c.Partitions
+	}
+	return c.effectiveThreads(n)
+}
+
+// paGraph returns the caller-supplied PA layout, or builds one. A
+// supplied layout must have been built from the graph being run, else
+// the PA kernels would silently compute over the other graph.
+func (c *Config) paGraph(g *Graph) (*PAGraph, error) {
+	if c.PA != nil {
+		if c.PA.G != g {
+			return nil, fmt.Errorf("pushpull: WithPartitionAwareGraph layout was built for a different graph")
+		}
+		return c.PA, nil
+	}
+	return BuildPA(g, NewPartition(g.N(), c.partitions(g.N()))), nil
+}

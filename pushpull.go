@@ -1,0 +1,168 @@
+// Package pushpull is the public engine facade of the push/pull graph-
+// computation library, the reproduction of "To Push or To Pull: On
+// Reducing Communication and Synchronization in Graph Computations"
+// (HPDC'17).
+//
+// The paper's central claim is that push vs. pull is one dichotomy
+// cutting across all iterative graph algorithms (§3.8). This package
+// makes that uniform at the API level: every algorithm — PageRank,
+// BFS, Δ-stepping SSSP, Boman coloring, triangle counting, betweenness
+// centrality, Borůvka MST — runs through one entrypoint with direction,
+// switching policy, scheduling and instrumentation as run options:
+//
+//	g, _ := pushpull.RMAT(pushpull.DefaultRMAT(12, 8, 1))
+//	rep, err := pushpull.Run(ctx, g, "pr",
+//		pushpull.WithDirection(pushpull.Pull),
+//		pushpull.WithIterations(20))
+//	ranks := rep.Ranks()
+//
+// Runs are abortable: cancel ctx and the engine stops between
+// iterations, returning the partial Report with Stats.Canceled set and
+// the context's error. Instrumented runs (WithProbes) are the
+// exception: they are deterministic measurement passes and always run
+// to completion.
+package pushpull
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"pushpull/internal/core"
+)
+
+// Report is the uniform result of one engine run: the algorithm's
+// payload, timing statistics, the per-iteration direction trace, and —
+// for instrumented runs — the aggregated event counters.
+type Report struct {
+	// Algorithm is the registry name the run resolved to.
+	Algorithm string
+	// Result is the algorithm payload: []float64 for pr, []int64 for tc,
+	// *BFSTree, *SSSPResult, *ColoringResult, *BCResult, or *MSTResult.
+	Result any
+	// Stats carries direction, iteration count, per-iteration timings,
+	// and the Canceled flag for context-aborted runs.
+	Stats RunStats
+	// Directions records the direction of every iteration — uniform for
+	// fixed-direction runs, per-round for the switching traversals.
+	Directions []Direction
+	// Counters holds the aggregated event counts of an instrumented run
+	// (WithProbes); nil otherwise.
+	Counters *CounterReport
+}
+
+// Ranks returns the payload as a float vector (pr ranks, bc scores,
+// sssp distances), or nil when the payload has another shape.
+func (r *Report) Ranks() []float64 {
+	switch v := r.Result.(type) {
+	case []float64:
+		return v
+	case *SSSPResult:
+		return v.Dist
+	case *BCResult:
+		return v.BC
+	default:
+		return nil
+	}
+}
+
+// Counts returns the payload as an integer count vector (tc), or nil.
+func (r *Report) Counts() []int64 {
+	v, _ := r.Result.([]int64)
+	return v
+}
+
+// Colors returns the coloring payload (gc), or nil.
+func (r *Report) Colors() []int32 {
+	if v, ok := r.Result.(*ColoringResult); ok {
+		return v.Colors
+	}
+	return nil
+}
+
+// Tree returns the traversal payload (bfs), or nil.
+func (r *Report) Tree() *BFSTree {
+	v, _ := r.Result.(*BFSTree)
+	return v
+}
+
+// Summary renders a one-line human-readable digest of the run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d iterations in %v (%s)", r.Algorithm,
+		r.Stats.Iterations, r.Stats.Elapsed, r.directionDigest())
+	if r.Stats.Canceled {
+		b.WriteString(" [canceled: partial result]")
+	}
+	return b.String()
+}
+
+// directionDigest compresses the direction trace ("push", "pull", or
+// e.g. "push×3, pull×9" for switching runs).
+func (r *Report) directionDigest() string {
+	var push, pull int
+	for _, d := range r.Directions {
+		if d == Pull {
+			pull++
+		} else {
+			push++
+		}
+	}
+	switch {
+	case push > 0 && pull > 0:
+		return fmt.Sprintf("push×%d, pull×%d", push, pull)
+	case pull > 0:
+		return "pull"
+	case push > 0:
+		return "push"
+	default:
+		return dirFromCore(r.Stats.Direction).String()
+	}
+}
+
+// uniformTrace builds the direction trace of a fixed-direction run.
+func uniformTrace(d core.Direction, iters int) []Direction {
+	out := make([]Direction, iters)
+	for i := range out {
+		out[i] = dirFromCore(d)
+	}
+	return out
+}
+
+// Run executes the named algorithm on g with the given options and
+// returns its Report.
+//
+// Direction, thread count, schedule, switching policy, instrumentation
+// and the per-algorithm knobs are all Options; see the With* functions.
+// When ctx is cancelled mid-run the engine stops between iterations and
+// returns the partial Report together with ctx's error — callers that
+// care about partial results must check the Report even on error.
+func Run(ctx context.Context, g *Graph, algorithm string, opts ...Option) (*Report, error) {
+	if g == nil {
+		return nil, errors.New("pushpull: Run on nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a, err := Lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	rep, err := a.Run(ctx, g, cfg)
+	if rep != nil {
+		rep.Algorithm = a.Name()
+		// Surface the cancellation only when the run actually stopped
+		// early: a run that completed its final iteration just as ctx
+		// fired — or an instrumented (WithProbes) run, which never
+		// polls ctx — returns its complete result without error.
+		if err == nil && rep.Stats.Canceled && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}
+	return rep, err
+}
