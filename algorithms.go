@@ -48,9 +48,28 @@ func init() {
 	}
 }
 
-// errProbes is returned for probe requests on un-instrumented algorithms.
-func errProbes(name string) error {
-	return fmt.Errorf("pushpull: %s has no instrumented (WithProbes) variant", name)
+// partitionProfileThreads resolves the simulated thread count of a probed
+// partition-based run (PA kernels, Boman coloring, Conflict-Removal): those
+// kernels run one worker per partition, so an explicit WithThreads that
+// disagrees with the partition count cannot be honored and errors instead
+// of being silently ignored.
+func partitionProfileThreads(algo string, cfg *Config, parts int) (int, error) {
+	if cfg.Threads > 0 && cfg.Threads != parts {
+		return 0, fmt.Errorf("pushpull: %s probes simulate one thread per partition (%d); WithThreads(%d) conflicts — drop it or set WithPartitions(%d)",
+			algo, parts, cfg.Threads, cfg.Threads)
+	}
+	return parts, nil
+}
+
+// coreTrace lifts a recorded per-iteration direction sequence (bfs rounds,
+// adaptive sssp, Frontier-Exploit — including mid-run Generic-Switch
+// flips) into the public trace.
+func coreTrace(dirs []core.Direction) []Direction {
+	out := make([]Direction, len(dirs))
+	for i, d := range dirs {
+		out[i] = dirFromCore(d)
+	}
+	return out
 }
 
 // ---- PageRank ----
@@ -82,7 +101,11 @@ func runPR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 			if paErr != nil {
 				return nil, paErr
 			}
-			prof, grp := core.CountingProfile(pa.Part.P)
+			t, tErr := partitionProfileThreads("pr", cfg, pa.Part.P)
+			if tErr != nil {
+				return nil, tErr
+			}
+			prof, grp := core.CountingProfile(t)
 			ranks, err = pr.PushPAProfiled(pa, opt, prof, nil)
 			rep = grp.Report()
 		} else {
@@ -141,22 +164,34 @@ func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	}
 
 	if cfg.Probes {
-		if cfg.PartitionAware {
-			return nil, fmt.Errorf("pushpull: tc has no instrumented partition-aware variant")
-		}
 		start := time.Now()
-		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
 		var counts []int64
 		var err error
-		if dir == core.Push {
-			counts, err = tc.PushProfiled(g, prof, nil)
+		var rep CounterReport
+		if cfg.PartitionAware {
+			pa, paErr := cfg.paGraph(g)
+			if paErr != nil {
+				return nil, paErr
+			}
+			t, tErr := partitionProfileThreads("tc", cfg, pa.Part.P)
+			if tErr != nil {
+				return nil, tErr
+			}
+			prof, grp := core.CountingProfile(t)
+			counts, err = tc.PushPAProfiled(pa, prof, nil)
+			rep = grp.Report()
 		} else {
-			counts, err = tc.PullProfiled(g, prof, nil)
+			prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+			if dir == core.Push {
+				counts, err = tc.PushProfiled(g, prof, nil)
+			} else {
+				counts, err = tc.PullProfiled(g, prof, nil)
+			}
+			rep = grp.Report()
 		}
 		if err != nil {
 			return nil, err
 		}
-		rep := grp.Report()
 		// The instrumented kernel is one deterministic pass; the wall
 		// time includes the probe bookkeeping.
 		return &Report{Result: counts,
@@ -184,9 +219,6 @@ func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 // ---- BFS ----
 
 func runBFS(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	if cfg.Probes {
-		return nil, errProbes("bfs")
-	}
 	if n := g.N(); n > 0 && (int(cfg.Source) < 0 || int(cfg.Source) >= n) {
 		return nil, fmt.Errorf("pushpull: bfs source %d out of range [0,%d)", cfg.Source, n)
 	}
@@ -197,12 +229,19 @@ func runBFS(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	case Pull:
 		mode = bfs.ForcePull
 	}
-	tree, dirs, stats := bfs.TraverseFrom(g, cfg.Source, mode, cfg.coreOptions(ctx))
-	trace := make([]Direction, len(dirs))
-	for i, d := range dirs {
-		trace[i] = dirFromCore(d)
+	if cfg.Probes {
+		// Auto stays supported: the Beamer heuristic decides from frontier
+		// sizes, which the instrumented pass reproduces deterministically.
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+		tree, dirs, stats, err := bfs.TraverseFromProfiled(g, cfg.Source, mode, cfg.coreOptions(ctx), prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs), Counters: &rep}, nil
 	}
-	return &Report{Result: tree, Stats: stats, Directions: trace}, nil
+	tree, dirs, stats := bfs.TraverseFrom(g, cfg.Source, mode, cfg.coreOptions(ctx))
+	return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs)}, nil
 }
 
 // ---- SSSP ----
@@ -213,13 +252,14 @@ func runSSSP(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 		return nil, fmt.Errorf("pushpull: sssp source %d out of range [0,%d)", cfg.Source, n)
 	}
 	if cfg.Probes {
-		if cfg.Direction == Auto {
-			return nil, fmt.Errorf("pushpull: sssp probes need WithDirection(Push|Pull)")
-		}
+		// A deterministic measurement pass needs a fixed direction; the
+		// adaptive switcher's decisions come from runtime frontier costs
+		// an instrumented replay should not depend on, so Auto takes the
+		// push baseline (the trace reports what actually ran).
 		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
 		var res *sssp.Result
 		var err error
-		if cfg.Direction == Push {
+		if cfg.resolveDir(core.Push) == core.Push {
 			res, err = sssp.PushProfiled(g, opt, prof, nil)
 		} else {
 			res, err = sssp.PullProfiled(g, opt, prof, nil)
@@ -235,11 +275,7 @@ func runSSSP(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	// Auto runs the per-iteration switching variant (§7.2).
 	if cfg.Direction == Auto {
 		res := sssp.Adaptive(g, opt)
-		trace := make([]Direction, len(res.Dirs))
-		for i, d := range res.Dirs {
-			trace[i] = dirFromCore(d)
-		}
-		return &Report{Result: res.Result, Stats: res.Stats, Directions: trace}, nil
+		return &Report{Result: res.Result, Stats: res.Stats, Directions: coreTrace(res.Dirs)}, nil
 	}
 	var res *sssp.Result
 	if cfg.Direction == Push {
@@ -254,9 +290,6 @@ func runSSSP(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 // ---- Betweenness centrality ----
 
 func runBC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	if cfg.Probes {
-		return nil, errProbes("bc")
-	}
 	for _, s := range cfg.Sources {
 		if int(s) < 0 || int(s) >= g.N() {
 			return nil, fmt.Errorf("pushpull: bc source %d out of range [0,%d)", s, g.N())
@@ -269,6 +302,17 @@ func runBC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	} else {
 		opt.Mode = bfs.ForcePull
 	}
+	if cfg.Probes {
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+		res, err := bc.RunProfiled(g, opt, prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Direction = dir
+		rep := grp.Report()
+		return &Report{Result: res, Stats: res.Stats,
+			Directions: uniformTrace(dir, res.Stats.Iterations), Counters: &rep}, nil
+	}
 	res := bc.Run(g, opt)
 	res.Stats.Direction = dir
 	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
@@ -278,11 +322,8 @@ func runBC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 
 func runGC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	// A switching policy turns the run into Frontier-Exploit steered by
-	// that policy (Generic-Switch / Greedy-Switch, §5).
+	// that policy (Generic-Switch / Greedy-Switch, §5); probes carry over.
 	if cfg.Switch != nil {
-		if cfg.Probes {
-			return nil, fmt.Errorf("pushpull: gc with WithSwitchPolicy runs Frontier-Exploit, which has no instrumented (WithProbes) variant")
-		}
 		return runGCFE(ctx, g, cfg)
 	}
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
@@ -290,8 +331,12 @@ func runGC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	part := NewPartition(g.N(), cfg.partitions(g.N()))
 
 	if cfg.Probes {
+		t, tErr := partitionProfileThreads("gc", cfg, part.P)
+		if tErr != nil {
+			return nil, tErr
+		}
 		start := time.Now()
-		prof, grp := core.CountingProfile(part.P)
+		prof, grp := core.CountingProfile(t)
 		var res *gc.ProfiledResult
 		var err error
 		if dir == core.Push {
@@ -325,9 +370,6 @@ func runGC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 }
 
 func runGCFE(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	if cfg.Probes {
-		return nil, errProbes("gc-fe")
-	}
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push)
 	// The built-in policies are re-instantiated per run: GenericSwitch
@@ -341,18 +383,38 @@ func runGCFE(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	case *core.GreedySwitch:
 		policy = &core.GreedySwitch{Fraction: p.Fraction, Total: p.Total}
 	}
+	if cfg.Probes {
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+		res, err := gc.FrontierExploitProfiled(g, opt, dir, policy, prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{Result: res, Stats: res.Stats, Directions: coreTrace(res.Dirs), Counters: &rep}, nil
+	}
 	res := gc.FrontierExploit(g, opt, dir, policy)
-	// The trace reflects the starting direction; a GenericSwitch flip
-	// mid-run is visible in Stats.Direction only through the policy.
-	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
+	// The trace records each iteration's actual direction, so a
+	// GenericSwitch flip mid-run is visible in Directions.
+	return &Report{Result: res, Stats: res.Stats, Directions: coreTrace(res.Dirs)}, nil
 }
 
 func runGCCR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	if cfg.Probes {
-		return nil, errProbes("gc-cr")
-	}
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	part := NewPartition(g.N(), cfg.partitions(g.N()))
+	if cfg.Probes {
+		t, tErr := partitionProfileThreads("gc-cr", cfg, part.P)
+		if tErr != nil {
+			return nil, tErr
+		}
+		prof, grp := core.CountingProfile(t)
+		res, err := gc.ConflictRemovalProfiled(g, part, opt, prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{Result: res, Stats: res.Stats,
+			Directions: uniformTrace(core.Push, res.Stats.Iterations), Counters: &rep}, nil
+	}
 	res, err := gc.ConflictRemoval(g, part, opt)
 	if err != nil {
 		return nil, err
@@ -364,13 +426,20 @@ func runGCCR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 // ---- MST ----
 
 func runMST(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	if cfg.Probes {
-		return nil, errProbes("mst")
-	}
 	opt := mst.Options{Options: cfg.coreOptions(ctx)}
 	// Pulling writes only owned slots, avoiding the O(n²) push-side lock
 	// conflicts of §4.7: the Auto default.
 	dir := cfg.resolveDir(core.Pull)
+	if cfg.Probes {
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
+		res, err := mst.BoruvkaProfiled(g, opt, dir, prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{Result: res, Stats: res.Stats,
+			Directions: uniformTrace(dir, res.Stats.Iterations), Counters: &rep}, nil
+	}
 	res := mst.Boruvka(g, opt, dir)
 	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
 }

@@ -11,6 +11,8 @@
 //
 //	pushpull run pr -dir pull          # PageRank, pulling
 //	pushpull -t 8 run sssp -graph rca -dir auto
+//	pushpull run pr -probes            # instrumented run + counter bill
+//	pushpull run dist-pr-mp -ranks 32  # §6.3 simulated cluster
 //	pushpull table3                    # PR and TC push-vs-pull times
 //	pushpull all                       # every experiment, paper order
 //
@@ -89,6 +91,8 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 	source := fs.Int("source", 0, "source vertex for traversals")
 	sourcesCSV := fs.String("sources", "", "comma-separated source vertices for bc (default: 8 sampled)")
 	delta := fs.Float64("delta", 0, "Δ-stepping bucket width (0 = heuristic)")
+	probes := fs.Bool("probes", false, "instrumented run: print the event-counter bill")
+	ranks := fs.Int("ranks", 0, "simulated cluster size for dist-* algorithms (0 = default)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = none)")
 	// Accept both "run pr -dir pull" and "run -dir pull pr".
 	algo := ""
@@ -158,12 +162,17 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 
 	ctx := context.Background()
 	if *timeout > 0 {
+		if *probes || strings.HasPrefix(algo, "dist-") {
+			// Instrumented and simulated-cluster runs are deterministic
+			// passes that never poll ctx (see WithProbes / the dist docs).
+			fmt.Fprintln(os.Stderr, "pushpull: warning: -timeout has no effect on probed or dist-* runs (they always run to completion)")
+		}
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 	start := time.Now()
-	rep, err := pushpull.Run(ctx, g, algo,
+	opts := []pushpull.Option{
 		pushpull.WithDirection(d),
 		pushpull.WithThreads(threads),
 		pushpull.WithIterations(*iters),
@@ -171,7 +180,12 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 		pushpull.WithSource(pushpull.V(*source)),
 		pushpull.WithSources(sources),
 		pushpull.WithDelta(*delta),
-	)
+		pushpull.WithRanks(*ranks),
+	}
+	if *probes {
+		opts = append(opts, pushpull.WithProbes())
+	}
+	rep, err := pushpull.Run(ctx, g, algo, opts...)
 	if err != nil && rep == nil {
 		fmt.Fprintln(os.Stderr, err) // facade errors carry their own prefix
 		os.Exit(1)
@@ -182,15 +196,21 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 		os.Exit(1)
 	}
 	fmt.Println(rep.Summary())
+	if strings.HasPrefix(algo, "dist-") {
+		fmt.Println("(the reported time is the simulated cluster makespan)")
+	}
+	if rep.Counters != nil {
+		fmt.Print(rep.Counters) // the event bill of probed and dist-* runs
+	}
 }
 
 // printCatalog lists every registered algorithm and experiment; shared
 // by "pushpull list" and the usage text.
 func printCatalog(w io.Writer) {
 	fmt.Fprintln(w, "Algorithms (pushpull run <name>):")
-	for _, name := range pushpull.Algorithms() {
+	for _, name := range pushpull.List() {
 		a, _ := pushpull.Lookup(name)
-		fmt.Fprintf(w, "  %-8s %s\n", name, a.Describe())
+		fmt.Fprintf(w, "  %-18s %s\n", name, a.Describe())
 	}
 	fmt.Fprintln(w, "\nExperiments:")
 	for _, e := range harness.All() {

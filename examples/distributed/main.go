@@ -1,9 +1,10 @@
 // Distributed: the §6.3 experiments as a user would run them — PageRank
 // and triangle counting on a simulated cluster, comparing push-RMA,
 // pull-RMA and Msg-Passing across rank counts, with remote-operation
-// counters explaining the gaps. The shared-memory cross-check runs
-// through the unified engine API; the cluster variants through its
-// distributed facade.
+// counters explaining the gaps. Everything — the shared-memory cross-check
+// included — runs through the one pushpull.Run entrypoint: the distributed
+// variants are registry algorithms (dist-pr-*, dist-tc-*) returning the
+// same uniform Report, with Stats.Elapsed carrying the simulated makespan.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	g, err := pushpull.RMAT(pushpull.DefaultRMAT(12, 12, 5))
 	if err != nil {
 		log.Fatal(err)
@@ -22,62 +24,61 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.UndirectedM())
 
 	// Verify the distributed results against shared memory once.
-	sm, err := pushpull.Run(context.Background(), g, "pr", pushpull.WithIterations(5))
+	sm, err := pushpull.Run(ctx, g, "pr", pushpull.WithIterations(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	check, err := pushpull.DistPRMsgPassing(g, pushpull.DistPRConfig{Ranks: 8, Iterations: 5})
+	check, err := pushpull.Run(ctx, g, "dist-pr-mp",
+		pushpull.WithRanks(8), pushpull.WithIterations(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("DM vs SM PageRank: max|Δ| = %.2g\n\n", pushpull.MaxDiff(check.Values, sm.Ranks()))
+	fmt.Printf("DM vs SM PageRank: max|Δ| = %.2g\n\n", pushpull.MaxDiff(check.Ranks(), sm.Ranks()))
+
+	simMS := func(rep *pushpull.Report) float64 { return float64(rep.Stats.Elapsed) / 1e6 }
 
 	fmt.Println("PageRank, simulated makespan per iteration [ms]:")
 	fmt.Printf("%-6s %14s %14s %14s\n", "P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing")
 	const iters = 2
 	for _, p := range []int{2, 8, 32, 128} {
-		push, err := pushpull.DistPRPushRMA(g, pushpull.DistPRConfig{Ranks: p, Iterations: iters})
-		if err != nil {
-			log.Fatal(err)
-		}
-		pull, err := pushpull.DistPRPullRMA(g, pushpull.DistPRConfig{Ranks: p, Iterations: iters})
-		if err != nil {
-			log.Fatal(err)
-		}
-		msg, err := pushpull.DistPRMsgPassing(g, pushpull.DistPRConfig{Ranks: p, Iterations: iters})
-		if err != nil {
-			log.Fatal(err)
+		row := map[string]*pushpull.Report{}
+		for _, algo := range []string{"dist-pr-push-rma", "dist-pr-pull-rma", "dist-pr-mp"} {
+			rep, err := pushpull.Run(ctx, g, algo,
+				pushpull.WithRanks(p), pushpull.WithIterations(iters))
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[algo] = rep
 		}
 		fmt.Printf("%-6d %14.3f %14.3f %14.3f\n", p,
-			push.SimTime/iters/1e6, pull.SimTime/iters/1e6, msg.SimTime/iters/1e6)
+			simMS(row["dist-pr-push-rma"])/iters,
+			simMS(row["dist-pr-pull-rma"])/iters,
+			simMS(row["dist-pr-mp"])/iters)
 		if p == 8 {
 			fmt.Printf("       (P=8 remote ops: push %s accumulates, pull %s gets, msg %s messages)\n",
-				pushpull.Human(push.Report.Get(pushpull.RemoteAtomics)),
-				pushpull.Human(pull.Report.Get(pushpull.RemoteReads)),
-				pushpull.Human(msg.Report.Get(pushpull.Messages)))
+				pushpull.Human(row["dist-pr-push-rma"].Counters.Get(pushpull.RemoteAtomics)),
+				pushpull.Human(row["dist-pr-pull-rma"].Counters.Get(pushpull.RemoteReads)),
+				pushpull.Human(row["dist-pr-mp"].Counters.Get(pushpull.Messages)))
 		}
 	}
 
 	fmt.Println("\nTriangle counting, simulated makespan [ms]:")
 	fmt.Printf("%-6s %14s %14s %14s\n", "P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing")
 	for _, p := range []int{2, 8, 32} {
-		push, err := pushpull.DistTCPushRMA(g, pushpull.DistTCConfig{Ranks: p})
-		if err != nil {
-			log.Fatal(err)
+		row := map[string]*pushpull.Report{}
+		for _, algo := range []string{"dist-tc-push-rma", "dist-tc-pull-rma", "dist-tc-mp"} {
+			rep, err := pushpull.Run(ctx, g, algo, pushpull.WithRanks(p))
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[algo] = rep
 		}
-		pull, err := pushpull.DistTCPullRMA(g, pushpull.DistTCConfig{Ranks: p})
-		if err != nil {
-			log.Fatal(err)
-		}
-		msg, err := pushpull.DistTCMsgPassing(g, pushpull.DistTCConfig{Ranks: p})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !pushpull.EqualCounts(push.Counts, pull.Counts) || !pushpull.EqualCounts(push.Counts, msg.Counts) {
+		push, pull, msg := row["dist-tc-push-rma"], row["dist-tc-pull-rma"], row["dist-tc-mp"]
+		if !pushpull.EqualCounts(push.Counts(), pull.Counts()) ||
+			!pushpull.EqualCounts(push.Counts(), msg.Counts()) {
 			log.Fatal("distributed TC variants disagree")
 		}
-		fmt.Printf("%-6d %14.3f %14.3f %14.3f\n", p,
-			push.SimTime/1e6, pull.SimTime/1e6, msg.SimTime/1e6)
+		fmt.Printf("%-6d %14.3f %14.3f %14.3f\n", p, simMS(push), simMS(pull), simMS(msg))
 	}
 	fmt.Println("\nshapes (cf. Fig. 3): PR wants Msg-Passing (float accumulates are",
 		"expensive); TC wants RMA (integer FAA has a fast path).")

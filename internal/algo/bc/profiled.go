@@ -1,0 +1,222 @@
+package bc
+
+import (
+	"time"
+
+	"pushpull/internal/algo/bfs"
+	"pushpull/internal/core"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+)
+
+// Code regions for instruction-TLB modeling.
+const (
+	regionForward = iota
+	regionSuccCount
+	regionBackward
+)
+
+// RunProfiled executes Brandes betweenness centrality deterministically
+// under the probes, reporting events at the R/W-marked points of
+// Algorithm 5. Events are charged to the probe of the vertex's owner under
+// a 1D block partition over prof.Threads, mirroring the ownership map of
+// §2.2.
+//
+// The direction asymmetry follows §4.5: phase 1 pushing charges an integer
+// fetch-and-add per multiplicity combine, phase 2 pushing conflicts on
+// *floats* — atomics do not apply, so each dependency combine costs a lock.
+// Pulling charges only reads plus plain owner-side writes in both phases.
+// The returned scores match the plain Run within float tolerance (the
+// accumulation order differs from a parallel run).
+func RunProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.AddressSpace) (*Result, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{BC: make([]float64, n)}
+	if n == 0 {
+		return res, nil
+	}
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	offA := space.NewArray(n+1, 8)
+	adjA := space.NewArray(int(g.M()), 4)
+	sigmaA := space.NewArray(n, 8)
+	levelA := space.NewArray(n, 4)
+	deltaA := space.NewArray(n, 8)
+	readyA := space.NewArray(n, 4)
+
+	sources := opt.Sources
+	if sources == nil {
+		sources = make([]graph.V, n)
+		for i := range sources {
+			sources[i] = graph.V(i)
+		}
+	}
+	push := opt.Mode != bfs.ForcePull // Auto defaults to push, as in Run
+
+	part := graph.NewPartition(n, prof.Threads)
+	probeOf := func(v graph.V) int { return part.Owner(v) }
+
+	sigma := make([]int64, n)
+	level := make([]int32, n)
+	delta := make([]float64, n)
+	byLevel := make([][]graph.V, 0, 32)
+
+	for _, s := range sources {
+		// ----- Phase 1: forward traversal with ⇐pred -----
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			sigma[i] = 0
+			level[i] = -1
+		}
+		sigma[s] = 1
+		level[s] = 0
+		byLevel = append(byLevel[:0], []graph.V{s})
+		for depth := 0; ; depth++ {
+			cur := byLevel[depth]
+			if len(cur) == 0 {
+				byLevel = byLevel[:depth]
+				break
+			}
+			var next []graph.V
+			if push {
+				// Frontier vertices push σ into their unsettled neighbors.
+				for _, v := range cur {
+					p := prof.Probes[probeOf(v)]
+					p.Exec(regionForward)
+					p.Read(offA.Addr(int64(v)), 8)
+					p.Read(sigmaA.Addr(int64(v)), 8)
+					offs := g.Offsets[v]
+					for j, u := range g.Neighbors(v) {
+						p.Branch(true)
+						p.Read(adjA.Addr(offs+int64(j)), 4)
+						p.Read(levelA.Addr(int64(u)), 4)
+						if level[u] != -1 && level[u] != int32(depth+1) {
+							continue
+						}
+						p.Atomic(sigmaA.Addr(int64(u)), 8) // FAA on ints (§4.5)
+						p.Jump()
+						sigma[u] += sigma[v]
+						if level[u] == -1 {
+							level[u] = int32(depth + 1)
+							p.Write(levelA.Addr(int64(u)), 4)
+							next = append(next, u)
+						}
+					}
+				}
+			} else {
+				// Every unsettled vertex scans for frontier neighbors and
+				// accumulates σ privately — no synchronization (§3.8).
+				for w := 0; w < prof.Threads; w++ {
+					p := prof.Probes[w]
+					p.Exec(regionForward)
+					lo, hi := part.Range(w)
+					for v := lo; v < hi; v++ {
+						p.Read(levelA.Addr(int64(v)), 4)
+						p.Branch(level[v] != -1)
+						if level[v] != -1 {
+							continue
+						}
+						p.Read(offA.Addr(int64(v)), 8)
+						offs := g.Offsets[v]
+						found := false
+						for j, u := range g.Neighbors(v) {
+							p.Branch(true)
+							p.Read(adjA.Addr(offs+int64(j)), 4)
+							p.Read(levelA.Addr(int64(u)), 4)
+							if level[u] != int32(depth) {
+								continue
+							}
+							p.Read(sigmaA.Addr(int64(u)), 8)
+							p.Write(sigmaA.Addr(int64(v)), 8) // private
+							sigma[v] += sigma[u]
+							found = true
+						}
+						if found {
+							level[v] = int32(depth + 1)
+							p.Write(levelA.Addr(int64(v)), 4)
+							next = append(next, v)
+						}
+					}
+				}
+			}
+			byLevel = append(byLevel, next)
+		}
+		res.Phase1 += time.Since(t0)
+
+		// ----- Phase 2: backward accumulation with ⇐part over G′ -----
+		t1 := time.Now()
+		for i := 0; i < n; i++ {
+			delta[i] = 0
+		}
+		// Successor counts seed the ready counters of Algorithm 5 (charged
+		// as the reads the plain runs pay to build them).
+		for w := 0; w < prof.Threads; w++ {
+			p := prof.Probes[w]
+			p.Exec(regionSuccCount)
+			lo, hi := part.Range(w)
+			for v := lo; v < hi; v++ {
+				p.Read(levelA.Addr(int64(v)), 4)
+				if level[v] < 0 {
+					continue
+				}
+				p.Read(offA.Addr(int64(v)), 8)
+				offs := g.Offsets[v]
+				for j, u := range g.Neighbors(v) {
+					p.Branch(true)
+					p.Read(adjA.Addr(offs+int64(j)), 4)
+					p.Read(levelA.Addr(int64(u)), 4)
+				}
+				p.Write(readyA.Addr(int64(v)), 4)
+				p.Write(deltaA.Addr(int64(v)), 8)
+			}
+		}
+		// Walk the shortest-path DAG backwards, deepest level first.
+		for depth := len(byLevel) - 1; depth > 0; depth-- {
+			for _, w := range byLevel[depth] {
+				// w contributes σ(v)/σ(w)·(1+δ(w)) to every predecessor v.
+				pw := prof.Probes[probeOf(w)]
+				pw.Exec(regionBackward)
+				pw.Read(offA.Addr(int64(w)), 8)
+				pw.Read(sigmaA.Addr(int64(w)), 8)
+				pw.Read(deltaA.Addr(int64(w)), 8)
+				offs := g.Offsets[w]
+				for j, v := range g.Neighbors(w) {
+					pw.Branch(true)
+					pw.Read(adjA.Addr(offs+int64(j)), 4)
+					pw.Read(levelA.Addr(int64(v)), 4)
+					if level[v] < 0 || level[v] != int32(depth-1) {
+						continue
+					}
+					c := float64(sigma[v]) / float64(sigma[w]) * (1 + delta[w])
+					if push {
+						// w (frontier) pushes into predecessor v: conflicting
+						// float adds, the lock-requiring case of §4.5.
+						pw.Read(sigmaA.Addr(int64(v)), 8)
+						pw.Lock(deltaA.Addr(int64(v)))
+						pw.Write(deltaA.Addr(int64(v)), 8)
+					} else {
+						// v pulls from its successor w: v is owned, plain
+						// write; charged to v's owner.
+						pv := prof.Probes[probeOf(v)]
+						pv.Read(sigmaA.Addr(int64(v)), 8)
+						pv.Read(deltaA.Addr(int64(v)), 8)
+						pv.Write(deltaA.Addr(int64(v)), 8)
+					}
+					delta[v] += c
+				}
+			}
+		}
+		res.Phase2 += time.Since(t1)
+
+		for v := 0; v < n; v++ {
+			if graph.V(v) != s && level[v] >= 0 {
+				res.BC[v] += delta[v]
+			}
+		}
+	}
+	res.Stats.Record(res.Phase1 + res.Phase2)
+	return res, nil
+}

@@ -46,6 +46,10 @@ type Result struct {
 	Iterations int
 	NumColors  int
 	Stats      core.RunStats
+	// Dirs records the direction of every iteration for the switching
+	// strategies (Frontier-Exploit under Generic-Switch); fixed-direction
+	// runs leave it nil and Stats.Direction is authoritative.
+	Dirs []core.Direction
 }
 
 // bitrow is a growable bitset of forbidden colors for one vertex.

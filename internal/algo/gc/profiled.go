@@ -1,6 +1,8 @@
 package gc
 
 import (
+	"time"
+
 	"pushpull/internal/core"
 	"pushpull/internal/graph"
 	"pushpull/internal/memsim"
@@ -56,6 +58,7 @@ func runProfiled(g *graph.CSR, part graph.Partition, opt Options, prof core.Prof
 	dirty := border
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		iterStart := time.Now()
 		// Phase 1 (profiled): greedy coloring of vertices needing color.
 		for w := 0; w < part.P; w++ {
 			p := prof.Probes[w]
@@ -143,6 +146,10 @@ func runProfiled(g *graph.CSR, part graph.Partition, opt Options, prof core.Prof
 			}
 		}
 		res.Iterations++
+		// Same per-iteration contract as the plain runs: the hook sees the
+		// wall time of every instrumented iteration (probe bookkeeping
+		// included, so it is slower than an uninstrumented pass).
+		opt.Tick(iter, time.Since(iterStart))
 		if conflicts == 0 {
 			break
 		}

@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"sort"
 	"time"
 
 	"pushpull/internal/core"
@@ -11,10 +12,13 @@ import (
 
 // FrontierExploit runs the FE strategy of §5: a maximal independent set is
 // colored c₀ first; each iteration i colors the uncolored neighbors of the
-// current frontier with color cᵢ, resolving same-round conflicts by pushing
-// losers to fresh colors. The traversal-like structure touches only the
-// frontier's neighborhood per round instead of every vertex — the memory-
-// access reduction the strategy exists for.
+// current frontier with the single fresh color cᵢ. A candidate whose
+// neighbor already took cᵢ this round defers — it is adjacent to a winner,
+// so the next frontier rediscovers it — which is what gives the strategy
+// its multi-round traversal structure and gives Generic-Switch a real
+// progress/conflict signal to steer by. The frontier's neighborhood is the
+// only state touched per round instead of every vertex — the memory-access
+// reduction the strategy exists for.
 //
 // policy steers the run: core.NeverSwitch{} is plain FE, a
 // core.GenericSwitch adds GS (flip push↔pull when conflicts dominate), and
@@ -58,6 +62,7 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 	colored := len(f)
 	nextColor := int32(1)
 	res.Iterations++
+	res.Dirs = append(res.Dirs, dir)
 	res.Stats.Record(time.Since(start))
 	opt.Tick(0, res.Stats.PerIteration[0])
 
@@ -84,6 +89,7 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 			greedyColorSubset(g, colors, nil)
 			colored = n
 			res.Iterations++
+			res.Dirs = append(res.Dirs, dir)
 			el := time.Since(start)
 			res.Stats.Record(el)
 			opt.Tick(res.Iterations-1, el)
@@ -114,7 +120,11 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 					}
 					for _, u := range g.Neighbors(v) {
 						if inF.Get(u) {
-							candMark.SetSeq(v) // own vertex: no atomic
+							// Only the owner marks v (the pull invariant),
+							// but the bitmap packs 64 vertices per word, so
+							// block-boundary words are shared: Set's CAS
+							// keeps the word write safe.
+							candMark.Set(v)
 							perThread.Add(w, v)
 							break
 						}
@@ -124,38 +134,49 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 		}
 		var cands frontier.Sparse
 		perThread.Merge(&cands)
+		// Canonical id order: the candidate *set* is deterministic, but the
+		// per-thread merge order is not (push claims race); sorting makes
+		// the winner set — and with it the iteration count — reproducible.
+		sort.Slice(cands.Vertices(), func(i, j int) bool {
+			return cands.Vertices()[i] < cands.Vertices()[j]
+		})
 
-		// Deterministic conflict resolution among candidates: each takes
-		// cᵢ unless an already-resolved candidate neighbor holds it, then
-		// the smallest fresh color above cᵢ ("a color not used before").
+		// Deterministic conflict resolution: a candidate takes the round's
+		// color cᵢ unless a neighbor — necessarily a same-round winner,
+		// earlier colors are all < cᵢ — already holds it; then it defers.
+		// The first candidate always wins, so every round makes progress.
 		ci := nextColor
-		maxUsed := ci - 1
 		conflicts = 0
+		winners := cands.Vertices()[:0]
 		for _, v := range cands.Vertices() {
-			c := ci
-		retry:
+			ok := true
 			for _, u := range g.Neighbors(v) {
-				if colors[u] == c {
-					c++
-					conflicts++
-					goto retry
+				if colors[u] == ci {
+					ok = false
+					break
 				}
 			}
-			colors[v] = c
-			if c > maxUsed {
-				maxUsed = c
+			if !ok {
+				conflicts++
+				continue
 			}
+			colors[v] = ci
+			winners = append(winners, v)
 		}
-		nextColor = maxUsed + 1
-		colored += cands.Len()
-		progress = cands.Len()
+		nextColor = ci + 1
+		colored += len(winners)
+		progress = len(winners)
 
-		// New frontier = this round's candidates.
+		// New frontier = this round's winners; every deferred loser is
+		// adjacent to one, so the next round rediscovers it.
 		inF.Clear()
-		f = append(f[:0], cands.Vertices()...)
-		inF.FromSparse(&cands)
+		f = append(f[:0], winners...)
+		for _, v := range winners {
+			inF.SetSeq(v)
+		}
 
 		res.Iterations++
+		res.Dirs = append(res.Dirs, dir)
 		el := time.Since(start)
 		res.Stats.Record(el)
 		opt.Tick(res.Iterations-1, el)
@@ -166,8 +187,24 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 			colored = n
 		}
 	}
+	if colored < n && !res.Stats.Canceled {
+		// The MaxIters bound cut the run short (one fresh color per round
+		// means high-chromatic graphs need many rounds): finish the
+		// remainder with the sequential greedy scheme as one final
+		// iteration, so the returned coloring is always valid.
+		start = time.Now()
+		greedyColorSubset(g, colors, nil)
+		res.Iterations++
+		res.Dirs = append(res.Dirs, dir)
+		el := time.Since(start)
+		res.Stats.Record(el)
+		opt.Tick(res.Iterations-1, el)
+	}
 	copy(res.Colors, colors)
 	res.NumColors = CountColors(res.Colors)
+	// A Generic-Switch flip mid-run changes dir; report the direction the
+	// run finished in, with Dirs carrying the full per-iteration truth.
+	res.Stats.Direction = dir
 	return res
 }
 

@@ -1,0 +1,232 @@
+package mst
+
+import (
+	"sort"
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+	"pushpull/internal/sched"
+)
+
+// Code regions for instruction-TLB modeling.
+const (
+	regionFM = iota
+	regionBMT
+	regionM
+)
+
+// BoruvkaProfiled runs a deterministic, instrumented Borůvka MST with the
+// Algorithm 7 event accounting: in the Find-Minimum phase the pull variant
+// charges only reads plus private writes of each supervertex's own slot,
+// while the push variant charges one lock per cross-supervertex candidate
+// write (the O(n²) conflicts of §4.7). The Build-Merge-Tree and Merge
+// phases are common bookkeeping, charged to the worker owning each
+// supervertex under a block decomposition.
+//
+// Weight ties break on edge endpoints, so the returned tree is byte-
+// identical to the fast variants' output.
+func BoruvkaProfiled(g *graph.CSR, opt Options, dir core.Direction, prof core.Profile, space *memsim.AddressSpace) (*Result, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{}
+	res.Stats.Direction = dir
+	if n == 0 {
+		return res, nil
+	}
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	offA := space.NewArray(n+1, 8)
+	adjA := space.NewArray(int(g.M()), 4)
+	wA := space.NewArray(int(g.M()), 4)
+	svFlagA := space.NewArray(n, 4)
+	minEA := space.NewArray(n, 24) // the tentative minimum-edge slots
+	parentA := space.NewArray(n, 4)
+
+	t := prof.Threads
+	svFlag := make([]int32, n)
+	sv := make([][]graph.V, n)
+	for i := 0; i < n; i++ {
+		svFlag[i] = int32(i)
+		sv[i] = []graph.V{graph.V(i)}
+	}
+	avail := make([]int32, n)
+	for i := range avail {
+		avail[i] = int32(i)
+	}
+	minE := make([]minEdge, n)
+	parent := make([]int32, n)
+
+	for len(avail) > 1 {
+		iterStart := time.Now()
+
+		// ---- Phase FM: find minimum outgoing edges ----
+		fmStart := time.Now()
+		for _, f := range avail {
+			minE[f] = minEdge{}
+		}
+		scanSV := func(w int, f int32, push bool) {
+			p := prof.Probes[w]
+			for _, v := range sv[f] {
+				p.Read(offA.Addr(int64(v)), 8)
+				ws := g.NeighborWeights(v)
+				offs := g.Offsets[v]
+				for j, u := range g.Neighbors(v) {
+					p.Branch(true)
+					p.Read(adjA.Addr(offs+int64(j)), 4)
+					p.Read(svFlagA.Addr(int64(u)), 4) // R: neighbor's flag
+					tgt := svFlag[u]
+					if tgt == f {
+						continue
+					}
+					wt := float32(1)
+					if ws != nil {
+						wt = ws[j]
+						p.Read(wA.Addr(offs+int64(j)), 4)
+					}
+					if push {
+						// Cross-supervertex write: the candidate improvement
+						// serializes on the target's slot (§4.7).
+						p.Lock(minEA.Addr(int64(tgt)))
+						p.Read(minEA.Addr(int64(tgt)), 24)
+						slot := &minE[tgt]
+						if slot.better(wt, u, v) {
+							*slot = minEdge{w: wt, inside: u, other: v, target: f, valid: true}
+							p.Write(minEA.Addr(int64(tgt)), 24)
+						}
+					} else {
+						// Own slot only: read-compare-write, no lock.
+						p.Read(minEA.Addr(int64(f)), 24)
+						best := &minE[f]
+						if best.better(wt, v, u) {
+							*best = minEdge{w: wt, inside: v, other: u, target: tgt, valid: true}
+							p.Write(minEA.Addr(int64(f)), 24)
+						}
+					}
+				}
+			}
+		}
+		for w := 0; w < t; w++ {
+			prof.Probes[w].Exec(regionFM)
+			lo, hi := sched.BlockRange(len(avail), t, w)
+			for i := lo; i < hi; i++ {
+				scanSV(w, avail[i], dir == core.Push)
+			}
+		}
+		res.PhaseFM = append(res.PhaseFM, time.Since(fmStart))
+
+		anyValid := false
+		for _, f := range avail {
+			if minE[f].valid {
+				anyValid = true
+				break
+			}
+		}
+		if !anyValid {
+			res.PhaseBMT = append(res.PhaseBMT, 0)
+			res.PhaseM = append(res.PhaseM, 0)
+			res.Iterations++
+			res.Stats.Record(time.Since(iterStart))
+			break
+		}
+
+		// ---- Phase BMT: hook, break 2-cycles, pointer-jump to roots ----
+		bmtStart := time.Now()
+		for w := 0; w < t; w++ {
+			p := prof.Probes[w]
+			p.Exec(regionBMT)
+			lo, hi := sched.BlockRange(len(avail), t, w)
+			for i := lo; i < hi; i++ {
+				f := avail[i]
+				p.Read(minEA.Addr(int64(f)), 24)
+				p.Write(parentA.Addr(int64(f)), 4)
+				if minE[f].valid {
+					parent[f] = minE[f].target
+				} else {
+					parent[f] = f
+				}
+			}
+		}
+		for w := 0; w < t; w++ {
+			p := prof.Probes[w]
+			lo, hi := sched.BlockRange(len(avail), t, w)
+			for i := lo; i < hi; i++ {
+				f := avail[i]
+				pf := parent[f]
+				p.Read(parentA.Addr(int64(f)), 4)
+				p.Read(parentA.Addr(int64(pf)), 4)
+				if parent[pf] == f && f < pf {
+					parent[f] = f // the smaller id of a 2-cycle becomes root
+					p.Write(parentA.Addr(int64(f)), 4)
+				}
+			}
+		}
+		for w := 0; w < t; w++ {
+			p := prof.Probes[w]
+			lo, hi := sched.BlockRange(len(avail), t, w)
+			for i := lo; i < hi; i++ {
+				f := avail[i]
+				for parent[f] != parent[parent[f]] {
+					p.Read(parentA.Addr(int64(parent[f])), 4)
+					p.Write(parentA.Addr(int64(f)), 4)
+					parent[f] = parent[parent[f]]
+				}
+			}
+		}
+		res.PhaseBMT = append(res.PhaseBMT, time.Since(bmtStart))
+
+		// ---- Phase M: contract components into their roots ----
+		mStart := time.Now()
+		rootMembers := map[int32][]int32{}
+		var roots []int32
+		for i, f := range avail {
+			p := prof.Probes[sched.OwnerOf(len(avail), t, i)]
+			p.Exec(regionM)
+			p.Read(parentA.Addr(int64(f)), 4)
+			r := parent[f]
+			if _, ok := rootMembers[r]; !ok {
+				roots = append(roots, r)
+				rootMembers[r] = nil
+			}
+			if r == f {
+				continue
+			}
+			rootMembers[r] = append(rootMembers[r], f)
+			// Every non-root contributes its minimum edge to the MST.
+			p.Read(minEA.Addr(int64(f)), 24)
+			e := minE[f]
+			a, b := canon(e.inside, e.other)
+			res.Edges = append(res.Edges, graph.Edge{U: a, V: b, Weight: e.w})
+			res.TotalWeight += float64(e.w)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		for w := 0; w < t; w++ {
+			p := prof.Probes[w]
+			lo, hi := sched.BlockRange(len(roots), t, w)
+			for i := lo; i < hi; i++ {
+				r := roots[i]
+				for _, f := range rootMembers[r] {
+					for _, v := range sv[f] {
+						p.Write(svFlagA.Addr(int64(v)), 4)
+						svFlag[v] = r
+					}
+					sv[r] = append(sv[r], sv[f]...)
+					sv[f] = nil
+				}
+			}
+		}
+		avail = roots
+		res.PhaseM = append(res.PhaseM, time.Since(mStart))
+
+		res.Iterations++
+		el := time.Since(iterStart)
+		res.Stats.Record(el)
+		opt.Tick(res.Iterations-1, el)
+	}
+	sortEdges(res.Edges)
+	return res, nil
+}

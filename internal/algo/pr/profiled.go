@@ -1,6 +1,8 @@
 package pr
 
 import (
+	"time"
+
 	"pushpull/internal/core"
 	"pushpull/internal/graph"
 	"pushpull/internal/memsim"
@@ -56,6 +58,7 @@ func PushProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 	}
 	base := (1 - opt.Damping) / float64(n)
 	for l := 0; l < opt.Iterations; l++ {
+		iterStart := time.Now()
 		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
 			p := prof.Probes[w]
 			p.Exec(regionPushInit)
@@ -97,6 +100,7 @@ func PushProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 				pr[i] = next[i]
 			}
 		})
+		opt.Tick(l, time.Since(iterStart))
 	}
 	return pr, nil
 }
@@ -122,6 +126,7 @@ func PullProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 	}
 	base := (1 - opt.Damping) / float64(n)
 	for l := 0; l < opt.Iterations; l++ {
+		iterStart := time.Now()
 		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
 			p := prof.Probes[w]
 			p.Exec(regionPullGather)
@@ -146,6 +151,7 @@ func PullProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 			}
 		})
 		pr, next = next, pr
+		opt.Tick(l, time.Since(iterStart))
 	}
 	return pr, nil
 }
@@ -189,6 +195,7 @@ func PushPAProfiled(pa *graph.PAGraph, opt Options, prof core.Profile, space *me
 	}
 	base := (1 - opt.Damping) / float64(n)
 	for l := 0; l < opt.Iterations; l++ {
+		iterStart := time.Now()
 		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
 			p := prof.Probes[w]
 			p.Exec(regionPushInit)
@@ -255,6 +262,7 @@ func PushPAProfiled(pa *graph.PAGraph, opt Options, prof core.Profile, space *me
 				pr[i] = next[i]
 			}
 		})
+		opt.Tick(l, time.Since(iterStart))
 	}
 	return pr, nil
 }

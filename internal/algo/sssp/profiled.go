@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"math"
+	"time"
 
 	"pushpull/internal/core"
 	"pushpull/internal/graph"
@@ -58,6 +59,7 @@ func PushProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 		cur := buckets[b]
 		buckets[b] = nil
 		for len(cur) > 0 {
+			iterStart := time.Now()
 			res.Inner++
 			var next []graph.V
 			for _, v := range cur {
@@ -103,6 +105,11 @@ func PushProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 				}
 			}
 			cur = next
+			// Record and tick per inner iteration, the same granularity the
+			// plain Push variant reports.
+			el := time.Since(iterStart)
+			res.Stats.Record(el)
+			opt.Tick(res.Inner-1, el)
 		}
 	}
 	return res, nil
@@ -150,6 +157,7 @@ func PullProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 	for {
 		res.Epochs++
 		for itr := 0; ; itr++ {
+			iterStart := time.Now()
 			res.Inner++
 			changed := false
 			for vi := 0; vi < n; vi++ {
@@ -204,6 +212,9 @@ func PullProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 			for i := range activeNext {
 				activeNext[i] = false
 			}
+			el := time.Since(iterStart)
+			res.Stats.Record(el)
+			opt.Tick(res.Inner-1, el)
 			if !changed {
 				break
 			}

@@ -1,0 +1,124 @@
+package tc
+
+import (
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+)
+
+// Code regions of the partition-aware kernel.
+const (
+	regionPALocal = iota + 2 // continue after the plain regions
+	regionPARemote
+)
+
+// PushPAProfiled runs the instrumented partition-aware push variant
+// (Algorithm 8 applied to TC): hits whose target is owned by the executing
+// thread commit with a read-modify-write pair of plain accesses in phase 1;
+// hits into other threads' counters pay one fetch-and-add each in phase 2.
+// The atomic count therefore equals the remote hit count — the §5 reduction
+// from all 2m hits to only the cross-partition ones.
+//
+// The intersection work charges one sequential adjacency read per merge
+// step, identical in both phases, so the phases differ purely by their
+// commit protocol. Counts equal the fast PushPA variant's output.
+func PushPAProfiled(pa *graph.PAGraph, prof core.Profile, space *memsim.AddressSpace) ([]int64, error) {
+	if prof.Threads != pa.Part.P {
+		prof = core.Profile{Threads: pa.Part.P, Probes: prof.Probes}
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := pa.G
+	n := g.N()
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	offA := space.NewArray(n+1, 8)
+	adjA := space.NewArray(int(g.M()), 4)
+	locOffA := space.NewArray(n+1, 8)
+	locAdjA := space.NewArray(len(pa.LocAdj), 4)
+	remOffA := space.NewArray(n+1, 8)
+	remAdjA := space.NewArray(len(pa.RemAdj), 4)
+	tcA := space.NewArray(n, 8)
+
+	tc := make([]int64, n)
+	if n == 0 {
+		return tc, nil
+	}
+	// profiledIntersect merges N(v) and N(w1), charging one adjacency read
+	// per step of either cursor, and returns the hit count.
+	profiledIntersect := func(p counters.Probe, v, w1 graph.V) int {
+		a, b := g.Neighbors(v), g.Neighbors(w1)
+		aOff, bOff := g.Offsets[v], g.Offsets[w1]
+		i, j, hits := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			p.Branch(a[i] < b[j])
+			switch {
+			case a[i] < b[j]:
+				p.Read(adjA.Addr(aOff+int64(i)), 4)
+				i++
+			case a[i] > b[j]:
+				p.Read(adjA.Addr(bOff+int64(j)), 4)
+				j++
+			default:
+				p.Read(adjA.Addr(aOff+int64(i)), 4)
+				p.Read(adjA.Addr(bOff+int64(j)), 4)
+				hits++
+				i++
+				j++
+			}
+		}
+		return hits
+	}
+
+	// Phase 1: local targets (owner(w1) == w), plain read-modify-write.
+	for w := 0; w < prof.Threads; w++ {
+		p := prof.Probes[w]
+		p.Exec(regionPALocal)
+		lo, hi := pa.Part.Range(w)
+		for v := lo; v < hi; v++ {
+			p.Read(offA.Addr(int64(v)), 8)
+			p.Read(locOffA.Addr(int64(v)), 8)
+			offs := pa.LocOff[v]
+			for j, w1 := range pa.Local(v) {
+				p.Branch(true)
+				p.Read(locAdjA.Addr(offs+int64(j)), 4)
+				p.Read(offA.Addr(int64(w1)), 8)
+				hits := profiledIntersect(p, v, w1)
+				if hits > 0 {
+					p.Read(tcA.Addr(int64(w1)), 8)
+					p.Write(tcA.Addr(int64(w1)), 8) // owned: plain add
+					tc[w1] += int64(hits)
+				}
+			}
+		}
+	}
+	// Phase 2 (after the Algorithm 8 barrier): remote targets, atomics —
+	// one FAA per hit, the W i accounting of Algorithm 2.
+	for w := 0; w < prof.Threads; w++ {
+		p := prof.Probes[w]
+		p.Exec(regionPARemote)
+		lo, hi := pa.Part.Range(w)
+		for v := lo; v < hi; v++ {
+			p.Read(remOffA.Addr(int64(v)), 8)
+			offs := pa.RemOff[v]
+			for j, w1 := range pa.Remote(v) {
+				p.Branch(true)
+				p.Read(remAdjA.Addr(offs+int64(j)), 4)
+				p.Read(offA.Addr(int64(w1)), 8)
+				hits := profiledIntersect(p, v, w1)
+				for h := 0; h < hits; h++ {
+					p.Atomic(tcA.Addr(int64(w1)), 8)
+					p.Jump()
+					tc[w1]++
+				}
+			}
+		}
+	}
+	for i := range tc {
+		tc[i] /= 2
+	}
+	return tc, nil
+}

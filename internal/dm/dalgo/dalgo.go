@@ -29,17 +29,22 @@ import (
 	"pushpull/internal/graph"
 )
 
+// DefaultPRIterations is the power-iteration count L used when a PRConfig
+// leaves Iterations unset; callers reporting iteration counts (the facade's
+// Report) reference it instead of duplicating the number.
+const DefaultPRIterations = 20
+
 // PRConfig configures a distributed PageRank run.
 type PRConfig struct {
 	Ranks      int     // cluster size P
-	Iterations int     // L (default 20)
+	Iterations int     // L (default DefaultPRIterations)
 	Damping    float64 // f (default 0.85)
 	Cost       dm.CostModel
 }
 
 func (c *PRConfig) defaults() {
 	if c.Iterations <= 0 {
-		c.Iterations = 20
+		c.Iterations = DefaultPRIterations
 	}
 	if c.Damping == 0 {
 		c.Damping = 0.85

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"pushpull"
-	"pushpull/internal/dm"
 	"pushpull/internal/dm/dalgo"
 	"pushpull/internal/graph"
 )
@@ -150,12 +149,13 @@ func Fig2(cfg Config) error {
 
 // Fig3 regenerates the distributed strong-scaling figure: simulated
 // makespan vs rank count for PR (orc, ljn, rmat) and TC (orc, ljn) with
-// Pushing-RMA, Pulling-RMA and Msg-Passing.
+// Pushing-RMA, Pulling-RMA and Msg-Passing, all through the facade's
+// dist-* registry entries (Stats.Elapsed is the simulated makespan).
 func Fig3(cfg Config) error {
 	cfg.defaults()
 	header(cfg.Out, "Figure 3", "DM strong scaling (simulated makespan [ms] vs P)")
 	ranks := []int{2, 4, 8, 16, 32, 64, 128, 256}
-	cost := dm.AriesCostModel()
+	simMS := func(rep *pushpull.Report) float64 { return float64(rep.Stats.Elapsed) / 1e6 }
 
 	prGraphs := []string{"orc", "ljn", "rmat"}
 	for _, name := range prGraphs {
@@ -170,20 +170,16 @@ func Fig3(cfg Config) error {
 			if p > g.N() {
 				break
 			}
-			push, err := dalgo.PRPushRMA(g, dalgo.PRConfig{Ranks: p, Iterations: iters, Cost: cost})
-			if err != nil {
-				return err
+			row := make([]float64, 0, 3)
+			for _, algo := range []string{"dist-pr-push-rma", "dist-pr-pull-rma", "dist-pr-mp"} {
+				rep, err := pushpull.Run(context.Background(), g, algo,
+					pushpull.WithRanks(p), pushpull.WithIterations(iters))
+				if err != nil {
+					return err
+				}
+				row = append(row, simMS(rep)/iters)
 			}
-			pull, err := dalgo.PRPullRMA(g, dalgo.PRConfig{Ranks: p, Iterations: iters, Cost: cost})
-			if err != nil {
-				return err
-			}
-			msg, err := dalgo.PRMsgPassing(g, dalgo.PRConfig{Ranks: p, Iterations: iters, Cost: cost})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, "%-6d %14.3f %14.3f %14.3f\n", p,
-				push.SimTime/iters/1e6, pull.SimTime/iters/1e6, msg.SimTime/iters/1e6)
+			fmt.Fprintf(cfg.Out, "%-6d %14.3f %14.3f %14.3f\n", p, row[0], row[1], row[2])
 		}
 	}
 
@@ -200,20 +196,15 @@ func Fig3(cfg Config) error {
 			if p > g.N() {
 				break
 			}
-			push, err := dalgo.TCPushRMA(g, dalgo.TCConfig{Ranks: p, Cost: cost})
-			if err != nil {
-				return err
+			row := make([]float64, 0, 3)
+			for _, algo := range []string{"dist-tc-push-rma", "dist-tc-pull-rma", "dist-tc-mp"} {
+				rep, err := pushpull.Run(context.Background(), g, algo, pushpull.WithRanks(p))
+				if err != nil {
+					return err
+				}
+				row = append(row, simMS(rep))
 			}
-			pull, err := dalgo.TCPullRMA(g, dalgo.TCConfig{Ranks: p, Cost: cost})
-			if err != nil {
-				return err
-			}
-			msg, err := dalgo.TCMsgPassing(g, dalgo.TCConfig{Ranks: p, Cost: cost})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, "%-6d %14.3f %14.3f %14.3f\n", p,
-				push.SimTime/1e6, pull.SimTime/1e6, msg.SimTime/1e6)
+			fmt.Fprintf(cfg.Out, "%-6d %14.3f %14.3f %14.3f\n", p, row[0], row[1], row[2])
 		}
 	}
 

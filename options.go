@@ -63,8 +63,9 @@ type Config struct {
 	// GreedySwitch) steering direction changes or sequential fallback.
 	Switch SwitchPolicy
 	// Probes enables deterministic instrumented execution: the run's
-	// memory events are aggregated into Report.Counters. Only pr, tc,
-	// gc and sssp have instrumented variants.
+	// memory events are aggregated into Report.Counters. Every shared-
+	// memory registry algorithm has an instrumented variant; the dist-*
+	// algorithms record their remote-operation counters unconditionally.
 	Probes bool
 	// Hook receives the wall time of every completed iteration.
 	Hook func(iter int, elapsed time.Duration)
@@ -93,6 +94,10 @@ type Config struct {
 	// repeated runs over the same layout skip the O(m) BuildPA; set it
 	// through WithPartitionAwareGraph, which also implies PartitionAware.
 	PA *PAGraph
+	// Ranks is the simulated cluster size P for the dist-* algorithms
+	// (0: Threads if set, else DefaultDistRanks). Shared-memory
+	// algorithms ignore it.
+	Ranks int
 }
 
 // Option configures one Run call.
@@ -117,7 +122,10 @@ func WithSchedule(s Schedule) Option { return func(c *Config) { c.Schedule = s }
 func WithSwitchPolicy(p SwitchPolicy) Option { return func(c *Config) { c.Switch = p } }
 
 // WithProbes runs the deterministic instrumented variant and aggregates
-// its event counts into Report.Counters (pr, tc, gc, sssp only).
+// its event counts into Report.Counters. Every shared-memory registry
+// algorithm supports it; instrumented passes always run to completion
+// (they never poll ctx). The dist-* algorithms attach their counters
+// whether or not probes are requested.
 func WithProbes() Option { return func(c *Config) { c.Probes = true } }
 
 // WithIterationHook receives each completed iteration's wall time — the
@@ -159,6 +167,9 @@ func WithPartitionAwareness() Option { return func(c *Config) { c.PartitionAware
 func WithPartitionAwareGraph(pa *PAGraph) Option {
 	return func(c *Config) { c.PA, c.PartitionAware = pa, true }
 }
+
+// WithRanks sets the simulated cluster size P for the dist-* algorithms.
+func WithRanks(p int) Option { return func(c *Config) { c.Ranks = p } }
 
 // ---- helpers for algorithm adapters ----
 

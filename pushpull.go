@@ -20,7 +20,14 @@
 // iterations, returning the partial Report with Stats.Canceled set and
 // the context's error. Instrumented runs (WithProbes) are the
 // exception: they are deterministic measurement passes and always run
-// to completion.
+// to completion. Every shared-memory algorithm has an instrumented
+// variant, so WithProbes works registry-wide.
+//
+// The §6.3 distributed simulations are registry algorithms too
+// (dist-pr-push-rma, dist-pr-pull-rma, dist-pr-mp, dist-tc-push-rma,
+// dist-tc-pull-rma, dist-tc-mp): they run on a simulated cluster of
+// WithRanks(P) ranks and report the simulated makespan as Stats.Elapsed
+// with the remote-operation counters attached.
 package pushpull
 
 import (
@@ -53,7 +60,8 @@ type Report struct {
 }
 
 // Ranks returns the payload as a float vector (pr ranks, bc scores,
-// sssp distances), or nil when the payload has another shape.
+// sssp distances, gathered dist-pr values), or nil when the payload has
+// another shape.
 func (r *Report) Ranks() []float64 {
 	switch v := r.Result.(type) {
 	case []float64:
@@ -62,15 +70,24 @@ func (r *Report) Ranks() []float64 {
 		return v.Dist
 	case *BCResult:
 		return v.BC
+	case *DistResult:
+		return v.Values
 	default:
 		return nil
 	}
 }
 
-// Counts returns the payload as an integer count vector (tc), or nil.
+// Counts returns the payload as an integer count vector (tc, dist-tc),
+// or nil.
 func (r *Report) Counts() []int64 {
-	v, _ := r.Result.([]int64)
-	return v
+	switch v := r.Result.(type) {
+	case []int64:
+		return v
+	case *DistResult:
+		return v.Counts
+	default:
+		return nil
+	}
 }
 
 // Colors returns the coloring payload (gc), or nil.

@@ -289,14 +289,16 @@ func TestWithProbes(t *testing.T) {
 		t.Errorf("probed pr report: %d iterations, %d trace entries, want 1/1",
 			push.Stats.Iterations, len(push.Directions))
 	}
-	// Algorithms without instrumented variants refuse probes.
-	if _, err := pushpull.Run(context.Background(), g, "mst", pushpull.WithProbes()); err == nil {
-		t.Error("mst accepted WithProbes")
+	// Every registry algorithm has an instrumented variant now — including
+	// mst and gc steered by a switch policy (Frontier-Exploit).
+	mstRep := run(t, g, "mst", pushpull.WithProbes(), pushpull.WithThreads(2))
+	if mstRep.Counters == nil || mstRep.Counters.Get(pushpull.Reads) == 0 {
+		t.Error("probed mst returned no counters")
 	}
-	// gc+WithSwitchPolicy runs Frontier-Exploit, which has no probes.
-	if _, err := pushpull.Run(context.Background(), g, "gc", pushpull.WithProbes(),
-		pushpull.WithSwitchPolicy(&pushpull.GenericSwitch{Threshold: 1})); err == nil {
-		t.Error("gc with switch policy accepted WithProbes")
+	feRep := run(t, g, "gc", pushpull.WithProbes(), pushpull.WithMaxIters(4096),
+		pushpull.WithSwitchPolicy(&pushpull.GenericSwitch{Threshold: 1}))
+	if feRep.Counters == nil || feRep.Counters.Get(pushpull.Reads) == 0 {
+		t.Error("probed gc+switch-policy returned no counters")
 	}
 }
 

@@ -65,12 +65,19 @@ func Lookup(name string) (Algorithm, error) {
 	return a, nil
 }
 
-// Algorithms lists every registered algorithm name, sorted.
+// Algorithms lists every registered algorithm name, sorted. The shared-
+// memory built-ins use bare names (pr, bfs, ...); the distributed §6.3
+// simulations follow the dist-<algo>-<mechanism> scheme (dist-pr-push-rma,
+// dist-tc-mp, ...).
 func Algorithms() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	return algorithmNamesLocked()
 }
+
+// List is Algorithms under the catalog name: every registered algorithm,
+// sorted, shared- and distributed-memory alike.
+func List() []string { return Algorithms() }
 
 func algorithmNamesLocked() []string {
 	names := make([]string, 0, len(registry))
