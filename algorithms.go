@@ -19,30 +19,42 @@ import (
 	"pushpull/internal/core"
 )
 
-// builtin implements Algorithm around an adapter function.
+// builtin implements Algorithm around an adapter function and a static
+// capability declaration.
 type builtin struct {
 	name string
 	desc string
-	run  func(ctx context.Context, g *Graph, cfg *Config) (*Report, error)
+	caps Caps
+	run  func(ctx context.Context, w *Workload, cfg *Config) (*Report, error)
 }
 
 func (b *builtin) Name() string     { return b.name }
 func (b *builtin) Describe() string { return b.desc }
-func (b *builtin) Run(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	return b.run(ctx, g, cfg)
+func (b *builtin) Caps() Caps       { return b.caps }
+func (b *builtin) Run(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	return b.run(ctx, w, cfg)
 }
 
 func init() {
 	for _, b := range []*builtin{
-		{"pr", "PageRank (§3.1, Algorithm 1; +Partition-Awareness §5)", runPR},
-		{"tc", "triangle counting (§3.2, Algorithm 2; +Partition-Awareness §5)", runTC},
-		{"bfs", "generalized breadth-first search (§3.3, Algorithm 3; Auto = direction-optimizing)", runBFS},
-		{"sssp", "Δ-stepping shortest paths (§3.4, Algorithm 4; Auto = adaptive switching)", runSSSP},
-		{"bc", "Brandes betweenness centrality (§3.5, Algorithm 5)", runBC},
-		{"gc", "Boman graph coloring (§3.6, Algorithm 6; WithSwitchPolicy = Frontier-Exploit+GS/GrS §5)", runGC},
-		{"gc-fe", "Frontier-Exploit coloring (§5), optionally with a switch policy", runGCFE},
-		{"gc-cr", "Conflict-Removal coloring (§5, Algorithm 9)", runGCCR},
-		{"mst", "Borůvka minimum spanning tree (§3.7, Algorithm 7)", runMST},
+		{"pr", "PageRank (§3.1, Algorithm 1; +Partition-Awareness §5; directed per §4.8)",
+			Caps{Directed: true, Probes: true, PartitionAware: true}, runPR},
+		{"tc", "triangle counting (§3.2, Algorithm 2; +Partition-Awareness §5)",
+			Caps{Probes: true, PartitionAware: true}, runTC},
+		{"bfs", "generalized breadth-first search (§3.3, Algorithm 3; Auto = direction-optimizing)",
+			Caps{NeedsSource: true, Probes: true}, runBFS},
+		{"sssp", "Δ-stepping shortest paths (§3.4, Algorithm 4; Auto = adaptive switching)",
+			Caps{NeedsWeights: true, NeedsSource: true, Probes: true}, runSSSP},
+		{"bc", "Brandes betweenness centrality (§3.5, Algorithm 5)",
+			Caps{NeedsSource: true, Probes: true}, runBC},
+		{"gc", "Boman graph coloring (§3.6, Algorithm 6; WithSwitchPolicy = Frontier-Exploit+GS/GrS §5)",
+			Caps{Probes: true}, runGC},
+		{"gc-fe", "Frontier-Exploit coloring (§5), optionally with a switch policy",
+			Caps{Probes: true}, runGCFE},
+		{"gc-cr", "Conflict-Removal coloring (§5, Algorithm 9)",
+			Caps{Probes: true}, runGCCR},
+		{"mst", "Borůvka minimum spanning tree (§3.7, Algorithm 7)",
+			Caps{NeedsWeights: true, Probes: true}, runMST},
 	} {
 		MustRegister(b)
 	}
@@ -74,7 +86,11 @@ func coreTrace(dirs []core.Direction) []Direction {
 
 // ---- PageRank ----
 
-func runPR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runPR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	if w.IsDirected() {
+		return runPRDirected(ctx, w, cfg)
+	}
+	g := w.Graph()
 	opt := pr.Options{Options: cfg.coreOptions(ctx), Iterations: cfg.Iterations}
 	if cfg.DampingSet {
 		opt.SetDamping(cfg.Damping)
@@ -97,7 +113,7 @@ func runPR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 		var rep CounterReport
 		if dir == core.Push && cfg.PartitionAware {
 			// The PA kernel's worker decomposition is the partition.
-			pa, paErr := cfg.paGraph(g)
+			pa, paErr := cfg.paGraph(w)
 			if paErr != nil {
 				return nil, paErr
 			}
@@ -135,7 +151,7 @@ func runPR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	var stats core.RunStats
 	switch {
 	case dir == core.Push && cfg.PartitionAware:
-		pa, err := cfg.paGraph(g)
+		pa, err := cfg.paGraph(w)
 		if err != nil {
 			return nil, err
 		}
@@ -148,9 +164,64 @@ func runPR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
 }
 
+// runPRDirected dispatches pr on a directed workload to the §4.8 kernels:
+// pushing scatters along out-edges (cost bound d̂out), pulling gathers
+// along the workload's memoized transpose (cost bound d̂in). Probes and
+// the direction trace behave exactly as on the undirected path.
+func runPRDirected(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	if cfg.PartitionAware || cfg.PA != nil {
+		return nil, fmt.Errorf("pushpull: pr on a directed workload: %w (the §5 split is defined over the undirected layout)", ErrPartitionAwareUnsupported)
+	}
+	opt := pr.Options{Options: cfg.coreOptions(ctx), Iterations: cfg.Iterations}
+	if cfg.DampingSet {
+		opt.SetDamping(cfg.Damping)
+	}
+	dir := cfg.resolveDir(core.Pull) // as undirected: pulling avoids all atomics
+	// The two adjacency views of §4.8 — out-edges for pushing, in-edges
+	// for pulling. Only pulling iterates in-edges, so the workload's
+	// memoized transpose is materialized lazily, for pull runs alone.
+	dg := &pr.DirectedGraph{Out: w.Graph()}
+	if dir == core.Pull {
+		dg.In = w.Transpose()
+	}
+
+	if cfg.Probes {
+		start := time.Now()
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(w.N()))
+		var ranks []float64
+		var err error
+		if dir == core.Push {
+			ranks, err = pr.PushDirectedProfiled(dg, opt, prof, nil)
+		} else {
+			ranks, err = pr.PullDirectedProfiled(dg, opt, prof, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		iters := cfg.Iterations
+		if iters <= 0 {
+			iters = pr.DefaultIterations
+		}
+		return &Report{Result: ranks,
+			Stats:      RunStats{Direction: dir, Iterations: iters, Elapsed: time.Since(start)},
+			Directions: uniformTrace(dir, iters), Counters: &rep}, nil
+	}
+
+	var ranks []float64
+	var stats core.RunStats
+	if dir == core.Push {
+		ranks, stats = pr.PushDirected(dg, opt)
+	} else {
+		ranks, stats = pr.PullDirected(dg, opt)
+	}
+	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
+}
+
 // ---- Triangle counting ----
 
-func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runTC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	g := w.Graph()
 	opt := tc.Options{Options: cfg.coreOptions(ctx)}
 	// Pulling accumulates privately with no atomics (§4.9): Auto default.
 	// As with pr, Partition-Awareness implies the push kernel it exists
@@ -169,7 +240,7 @@ func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 		var err error
 		var rep CounterReport
 		if cfg.PartitionAware {
-			pa, paErr := cfg.paGraph(g)
+			pa, paErr := cfg.paGraph(w)
 			if paErr != nil {
 				return nil, paErr
 			}
@@ -203,7 +274,7 @@ func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	var stats core.RunStats
 	switch {
 	case dir == core.Push && cfg.PartitionAware:
-		pa, err := cfg.paGraph(g)
+		pa, err := cfg.paGraph(w)
 		if err != nil {
 			return nil, err
 		}
@@ -218,10 +289,9 @@ func runTC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 
 // ---- BFS ----
 
-func runBFS(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	if n := g.N(); n > 0 && (int(cfg.Source) < 0 || int(cfg.Source) >= n) {
-		return nil, fmt.Errorf("pushpull: bfs source %d out of range [0,%d)", cfg.Source, n)
-	}
+func runBFS(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	// Source range is validated by the NeedsSource capability gate.
+	g := w.Graph()
 	mode := bfs.Auto // the direction-optimizing switch of Beamer et al.
 	switch cfg.Direction {
 	case Push:
@@ -246,11 +316,10 @@ func runBFS(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 
 // ---- SSSP ----
 
-func runSSSP(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runSSSP(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	g := w.Graph()
+	// Source range is validated by the NeedsSource capability gate.
 	opt := sssp.Options{Options: cfg.coreOptions(ctx), Source: cfg.Source, Delta: cfg.Delta}
-	if n := g.N(); n > 0 && (int(cfg.Source) < 0 || int(cfg.Source) >= n) {
-		return nil, fmt.Errorf("pushpull: sssp source %d out of range [0,%d)", cfg.Source, n)
-	}
 	if cfg.Probes {
 		// A deterministic measurement pass needs a fixed direction; the
 		// adaptive switcher's decisions come from runtime frontier costs
@@ -289,12 +358,9 @@ func runSSSP(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 
 // ---- Betweenness centrality ----
 
-func runBC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
-	for _, s := range cfg.Sources {
-		if int(s) < 0 || int(s) >= g.N() {
-			return nil, fmt.Errorf("pushpull: bc source %d out of range [0,%d)", s, g.N())
-		}
-	}
+func runBC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	// Source ranges are validated by the NeedsSource capability gate.
+	g := w.Graph()
 	opt := bc.Options{Options: cfg.coreOptions(ctx), Sources: cfg.Sources}
 	dir := cfg.resolveDir(core.Push) // bc defaults to push (§3.5 baseline)
 	if dir == core.Push {
@@ -320,15 +386,16 @@ func runBC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 
 // ---- Graph coloring ----
 
-func runGC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	g := w.Graph()
 	// A switching policy turns the run into Frontier-Exploit steered by
 	// that policy (Generic-Switch / Greedy-Switch, §5); probes carry over.
 	if cfg.Switch != nil {
-		return runGCFE(ctx, g, cfg)
+		return runGCFE(ctx, w, cfg)
 	}
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push) // push maintains the exact dirty set
-	part := NewPartition(g.N(), cfg.partitions(g.N()))
+	part := NewPartition(g.N(), cfg.partitions(w))
 
 	if cfg.Probes {
 		t, tErr := partitionProfileThreads("gc", cfg, part.P)
@@ -369,7 +436,8 @@ func runGC(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
 }
 
-func runGCFE(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runGCFE(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	g := w.Graph()
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push)
 	// The built-in policies are re-instantiated per run: GenericSwitch
@@ -398,9 +466,10 @@ func runGCFE(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 	return &Report{Result: res, Stats: res.Stats, Directions: coreTrace(res.Dirs)}, nil
 }
 
-func runGCCR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runGCCR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	g := w.Graph()
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
-	part := NewPartition(g.N(), cfg.partitions(g.N()))
+	part := NewPartition(g.N(), cfg.partitions(w))
 	if cfg.Probes {
 		t, tErr := partitionProfileThreads("gc-cr", cfg, part.P)
 		if tErr != nil {
@@ -425,7 +494,8 @@ func runGCCR(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
 
 // ---- MST ----
 
-func runMST(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func runMST(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	g := w.Graph()
 	opt := mst.Options{Options: cfg.coreOptions(ctx)}
 	// Pulling writes only owned slots, avoiding the O(n²) push-side lock
 	// conflicts of §4.7: the Auto default.

@@ -1,0 +1,115 @@
+package pushpull
+
+// Capability declarations and the uniform precondition errors of the
+// engine. Every Algorithm declares up front what it needs from a workload
+// (weights, a source) and what kinds it supports (directed graphs,
+// instrumented probes, Partition-Awareness); Run validates the declared
+// capabilities against the resolved Workload and Config before any
+// goroutine spawns, so an unsupported combination fails with one typed
+// error instead of an ad-hoc failure deep inside a kernel.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Caps declares what an algorithm needs and supports. The zero value is
+// the most restrictive declaration: no weights consumed, no source, no
+// directed graphs, no probes, no Partition-Awareness.
+type Caps struct {
+	// NeedsWeights marks algorithms that are meaningless without edge
+	// weights (sssp, mst): Run fails with ErrNeedsWeights on an
+	// unweighted workload.
+	NeedsWeights bool
+	// NeedsSource marks algorithms consuming WithSource/WithSources
+	// (bfs, sssp, bc); the engine range-checks the configured sources
+	// against the workload (ErrBadSource) before the algorithm runs.
+	NeedsSource bool
+	// Directed marks algorithms that run on directed workloads; others
+	// fail with ErrDirectedUnsupported.
+	Directed bool
+	// Probes marks algorithms with a deterministic instrumented variant
+	// (WithProbes); others fail with ErrProbesUnsupported.
+	Probes bool
+	// PartitionAware marks algorithms supporting the §5 Partition-
+	// Awareness acceleration; others fail with ErrPartitionAwareUnsupported.
+	PartitionAware bool
+}
+
+// String renders the capability set as a compact tag list.
+func (c Caps) String() string {
+	out := ""
+	add := func(on bool, tag string) {
+		if on {
+			if out != "" {
+				out += ","
+			}
+			out += tag
+		}
+	}
+	add(c.NeedsWeights, "needs-weights")
+	add(c.NeedsSource, "needs-source")
+	add(c.Directed, "directed")
+	add(c.Probes, "probes")
+	add(c.PartitionAware, "pa")
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// The uniform precondition errors. Run wraps them with the algorithm and
+// workload context, so match with errors.Is.
+var (
+	// ErrNeedsWeights: the algorithm requires edge weights the workload
+	// does not carry (or a Weighted workload was built over an unweighted
+	// graph).
+	ErrNeedsWeights = errors.New("workload carries no edge weights")
+	// ErrDirectedUnsupported: the algorithm does not run on directed
+	// workloads.
+	ErrDirectedUnsupported = errors.New("directed workloads unsupported")
+	// ErrProbesUnsupported: the algorithm has no instrumented variant.
+	ErrProbesUnsupported = errors.New("instrumented (WithProbes) runs unsupported")
+	// ErrPartitionAwareUnsupported: the algorithm has no Partition-
+	// Awareness acceleration.
+	ErrPartitionAwareUnsupported = errors.New("partition awareness unsupported")
+	// ErrBadSource: a configured source vertex is outside the workload's
+	// vertex range.
+	ErrBadSource = errors.New("source vertex out of range")
+)
+
+// validateCaps checks the resolved workload and configuration against the
+// algorithm's declared capabilities; it is the single precondition gate
+// Run applies before handing control to the algorithm.
+func validateCaps(a Algorithm, w *Workload, cfg *Config) error {
+	caps := a.Caps()
+	name := a.Name()
+	if w.WeightsDeclared() && !w.HasWeights() {
+		return fmt.Errorf("pushpull: %s on a Weighted workload whose graph has no weights: %w (attach weights, e.g. WithUniformWeights)", name, ErrNeedsWeights)
+	}
+	if caps.NeedsWeights && !w.HasWeights() {
+		return fmt.Errorf("pushpull: %s requires a weighted workload: %w (attach weights, e.g. WithUniformWeights)", name, ErrNeedsWeights)
+	}
+	if w.IsDirected() && !caps.Directed {
+		return fmt.Errorf("pushpull: %s on a directed workload: %w", name, ErrDirectedUnsupported)
+	}
+	if cfg.Probes && !caps.Probes {
+		return fmt.Errorf("pushpull: %s with WithProbes: %w", name, ErrProbesUnsupported)
+	}
+	if (cfg.PartitionAware || cfg.PA != nil) && !caps.PartitionAware {
+		return fmt.Errorf("pushpull: %s with WithPartitionAwareness: %w", name, ErrPartitionAwareUnsupported)
+	}
+	if caps.NeedsSource {
+		if n := w.N(); n > 0 {
+			if int(cfg.Source) < 0 || int(cfg.Source) >= n {
+				return fmt.Errorf("pushpull: %s source %d out of range [0,%d): %w", name, cfg.Source, n, ErrBadSource)
+			}
+			for _, s := range cfg.Sources {
+				if int(s) < 0 || int(s) >= n {
+					return fmt.Errorf("pushpull: %s source %d out of range [0,%d): %w", name, s, n, ErrBadSource)
+				}
+			}
+		}
+	}
+	return nil
+}

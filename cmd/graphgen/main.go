@@ -65,7 +65,10 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := pushpull.WriteEdgeList(w, g); err != nil {
+	// Suite graphs are undirected by construction; writing through the
+	// Workload handle states that and skips WriteEdgeList's per-arc
+	// symmetry detection.
+	if err := pushpull.WriteWorkload(w, pushpull.NewWorkload(g)); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}

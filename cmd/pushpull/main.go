@@ -10,6 +10,7 @@
 //	pushpull [flags] <experiment-id>|all|list
 //
 //	pushpull run pr -dir pull          # PageRank, pulling
+//	pushpull run pr -directed          # directed PageRank (§4.8, both views)
 //	pushpull -t 8 run sssp -graph rca -dir auto
 //	pushpull run pr -probes            # instrumented run + counter bill
 //	pushpull run dist-pr-mp -ranks 32  # §6.3 simulated cluster
@@ -25,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -86,6 +88,8 @@ func main() {
 func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	graphID := fs.String("graph", "rmat", "suite workload id (see graphgen)")
+	directed := fs.Bool("directed", false, "run on a directed workload (the suite graph deterministically oriented)")
+	weightedF := fs.Bool("weighted", false, "attach edge weights to the workload (implied by sssp/mst)")
 	dir := fs.String("dir", "auto", "update direction: push, pull, auto")
 	iters := fs.Int("iters", 0, "iteration bound: pr iterations / gc max-iters (0 = algorithm default)")
 	source := fs.Int("source", 0, "source vertex for traversals")
@@ -127,10 +131,12 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 		os.Exit(2)
 	}
 
-	// sssp needs weights; every suite graph supports a weighted build.
+	// sssp and mst declare NeedsWeights, so they imply -weighted; every
+	// suite graph supports a weighted build.
+	wantWeights := *weightedF || algo == "sssp" || algo == "mst"
 	var g *pushpull.Graph
 	var err error
-	if algo == "sssp" || algo == "mst" {
+	if wantWeights {
 		g, err = pushpull.NamedWeightedGraph(*graphID, scale, seed)
 	} else {
 		g, err = pushpull.NamedGraph(*graphID, scale, seed)
@@ -139,7 +145,28 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 		fmt.Fprintf(os.Stderr, "pushpull: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload %s: n=%d m=%d d̄=%.1f\n", *graphID, g.N(), g.UndirectedM(), g.AvgDegree())
+
+	// Map the flags onto a Workload handle declaring the graph kind; the
+	// engine validates it against the algorithm's capabilities up front.
+	var wopts []pushpull.WorkloadOption
+	if wantWeights {
+		wopts = append(wopts, pushpull.AsWeighted())
+	}
+	if *directed {
+		if g, err = orientDirected(g); err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: %v\n", err)
+			os.Exit(1)
+		}
+		wopts = append(wopts, pushpull.AsDirected())
+	}
+	workload := pushpull.NewWorkload(g, wopts...)
+	m, avgDeg := g.UndirectedM(), g.AvgDegree()
+	if *directed {
+		m = g.M() // arcs, not undirected pairs
+		avgDeg = float64(g.M()) / float64(g.N())
+	}
+	fmt.Printf("workload %s (%s): n=%d m=%d d̄=%.1f\n",
+		*graphID, workload.Kind(), g.N(), m, avgDeg)
 
 	var sources []pushpull.V
 	if *sourcesCSV != "" {
@@ -185,9 +212,22 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 	if *probes {
 		opts = append(opts, pushpull.WithProbes())
 	}
-	rep, err := pushpull.Run(ctx, g, algo, opts...)
+	rep, err := pushpull.Run(ctx, workload, algo, opts...)
 	if err != nil && rep == nil {
-		fmt.Fprintln(os.Stderr, err) // facade errors carry their own prefix
+		// Capability mismatches are typed: print the one-line verdict and
+		// a usable hint, not a stack of internals.
+		switch {
+		case errors.Is(err, pushpull.ErrNeedsWeights):
+			fmt.Fprintf(os.Stderr, "pushpull: %s needs edge weights; rerun with -weighted\n", algo)
+		case errors.Is(err, pushpull.ErrDirectedUnsupported):
+			fmt.Fprintf(os.Stderr, "pushpull: %s does not support directed workloads; drop -directed\n", algo)
+		case errors.Is(err, pushpull.ErrProbesUnsupported):
+			fmt.Fprintf(os.Stderr, "pushpull: %s has no instrumented variant; drop -probes\n", algo)
+		case errors.Is(err, pushpull.ErrPartitionAwareUnsupported):
+			fmt.Fprintf(os.Stderr, "pushpull: %s does not support partition awareness here: %v\n", algo, err)
+		default:
+			fmt.Fprintln(os.Stderr, err) // facade errors carry their own prefix
+		}
 		os.Exit(1)
 	}
 	if err != nil {
@@ -204,13 +244,39 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 	}
 }
 
+// orientDirected derives a directed graph from an undirected suite graph
+// by keeping one arc per undirected edge. The orientation is picked by
+// endpoint-sum parity — deterministic, but (unlike always low→high) not a
+// DAG by construction, so rank can circulate.
+func orientDirected(g *pushpull.Graph) (*pushpull.Graph, error) {
+	b := pushpull.NewBuilder(g.N()).Directed()
+	for v := pushpull.V(0); int(v) < g.N(); v++ {
+		ws := g.NeighborWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if u < v {
+				continue // visit each undirected edge once
+			}
+			from, to := v, u
+			if (int(v)+int(u))%2 == 1 {
+				from, to = u, v
+			}
+			if ws != nil {
+				b.AddEdgeW(from, to, ws[i])
+			} else {
+				b.AddEdge(from, to)
+			}
+		}
+	}
+	return b.Build()
+}
+
 // printCatalog lists every registered algorithm and experiment; shared
 // by "pushpull list" and the usage text.
 func printCatalog(w io.Writer) {
-	fmt.Fprintln(w, "Algorithms (pushpull run <name>):")
+	fmt.Fprintln(w, "Algorithms (pushpull run <name>; caps in brackets):")
 	for _, name := range pushpull.List() {
 		a, _ := pushpull.Lookup(name)
-		fmt.Fprintf(w, "  %-18s %s\n", name, a.Describe())
+		fmt.Fprintf(w, "  %-18s %s [%s]\n", name, a.Describe(), a.Caps())
 	}
 	fmt.Fprintln(w, "\nExperiments:")
 	for _, e := range harness.All() {

@@ -44,19 +44,23 @@ type (
 const DefaultDistRanks = 8
 
 func init() {
+	// Every dist variant records its remote-operation counters whether or
+	// not probes are requested, so Caps.Probes holds; the simulations run
+	// the paper's undirected workloads only.
+	distCaps := Caps{Probes: true}
 	for _, b := range []*builtin{
 		{"dist-pr-push-rma", "distributed PageRank, pushing over RMA (remote float accumulates, §6.3.1)",
-			distPR("dist-pr-push-rma", dalgo.PRPushRMA, Push)},
+			distCaps, distPR("dist-pr-push-rma", dalgo.PRPushRMA, Push)},
 		{"dist-pr-pull-rma", "distributed PageRank, pulling over RMA (remote reads of rank and degree, §6.3.1)",
-			distPR("dist-pr-pull-rma", dalgo.PRPullRMA, Pull)},
+			distCaps, distPR("dist-pr-pull-rma", dalgo.PRPullRMA, Pull)},
 		{"dist-pr-mp", "distributed PageRank, buffered message passing (Alltoallv hybrid, §6.3.1)",
-			distPR("dist-pr-mp", dalgo.PRMsgPassing, Auto)},
+			distCaps, distPR("dist-pr-mp", dalgo.PRMsgPassing, Auto)},
 		{"dist-tc-push-rma", "distributed triangle counting, pushing over RMA (remote integer FAAs, §6.3.2)",
-			distTC("dist-tc-push-rma", dalgo.TCPushRMA, Push)},
+			distCaps, distTC("dist-tc-push-rma", dalgo.TCPushRMA, Push)},
 		{"dist-tc-pull-rma", "distributed triangle counting, pulling over RMA (owner-local accumulation, §6.3.2)",
-			distTC("dist-tc-pull-rma", dalgo.TCPullRMA, Pull)},
+			distCaps, distTC("dist-tc-pull-rma", dalgo.TCPullRMA, Pull)},
 		{"dist-tc-mp", "distributed triangle counting, buffered instruct messages (§6.3.2)",
-			distTC("dist-tc-mp", dalgo.TCMsgPassing, Auto)},
+			distCaps, distTC("dist-tc-mp", dalgo.TCMsgPassing, Auto)},
 	} {
 		MustRegister(b)
 	}
@@ -99,8 +103,9 @@ func distTraceDir(fixed Direction) core.Direction {
 }
 
 // distPR adapts one dalgo PageRank variant to the Algorithm interface.
-func distPR(name string, run func(*Graph, dalgo.PRConfig) (*dalgo.Result, error), fixed Direction) func(context.Context, *Graph, *Config) (*Report, error) {
-	return func(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func distPR(name string, run func(*Graph, dalgo.PRConfig) (*dalgo.Result, error), fixed Direction) func(context.Context, *Workload, *Config) (*Report, error) {
+	return func(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+		g := w.Graph()
 		if err := checkDistDirection(name, fixed, cfg.Direction); err != nil {
 			return nil, err
 		}
@@ -128,8 +133,9 @@ func distPR(name string, run func(*Graph, dalgo.PRConfig) (*dalgo.Result, error)
 }
 
 // distTC adapts one dalgo triangle-counting variant.
-func distTC(name string, run func(*Graph, dalgo.TCConfig) (*dalgo.Result, error), fixed Direction) func(context.Context, *Graph, *Config) (*Report, error) {
-	return func(ctx context.Context, g *Graph, cfg *Config) (*Report, error) {
+func distTC(name string, run func(*Graph, dalgo.TCConfig) (*dalgo.Result, error), fixed Direction) func(context.Context, *Workload, *Config) (*Report, error) {
+	return func(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+		g := w.Graph()
 		if err := checkDistDirection(name, fixed, cfg.Direction); err != nil {
 			return nil, err
 		}

@@ -20,13 +20,16 @@ func main() {
 		log.Fatal(err)
 	}
 	g = pushpull.WithUniformWeights(g, 1, 10, 4)
-	stats := pushpull.ComputeStats(g)
-	fmt.Printf("road network: n=%d m=%d d̄=%.2f D≈%d\n",
-		stats.N, stats.M, stats.AvgDeg, stats.Diameter)
+	// The Weighted handle declares the kind (sssp requires weights — the
+	// engine checks it up front) and memoizes the Table 2 stats.
+	wl := pushpull.Weighted(g)
+	stats := wl.Stats()
+	fmt.Printf("road network (%s): n=%d m=%d d̄=%.2f D≈%d\n",
+		wl.Kind(), stats.N, stats.M, stats.AvgDeg, stats.Diameter)
 
 	ctx := context.Background()
 	sssp := func(opts ...pushpull.Option) *pushpull.SSSPResult {
-		rep, err := pushpull.Run(ctx, g, "sssp", append(opts, pushpull.WithSource(0))...)
+		rep, err := pushpull.Run(ctx, wl, "sssp", append(opts, pushpull.WithSource(0))...)
 		if err != nil {
 			log.Fatal(err)
 		}

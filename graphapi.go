@@ -112,10 +112,16 @@ func BuildPA(g *Graph, part Partition) *PAGraph { return graph.BuildPA(g, part) 
 // ComputeStats derives the Table 2 statistics of a graph.
 func ComputeStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
 
-// WriteEdgeList writes g as a portable edge list.
+// WriteEdgeList writes g as a portable edge list. The header records the
+// graph kind — directedness (detected with a weight-aware symmetry check)
+// and weights — so directed and weighted graphs survive the round trip
+// through ReadEdgeList. For a Workload, WriteWorkload skips the detection
+// and uses the declared kind.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
-// ReadEdgeList parses an edge list written by WriteEdgeList.
+// ReadEdgeList parses an edge list written by WriteEdgeList, restoring
+// the recorded directedness and weights; ReadWorkload additionally lifts
+// the kind into a Workload handle.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
 // ---- workload generators ----

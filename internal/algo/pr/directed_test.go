@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
 	"pushpull/internal/graph"
 	"pushpull/internal/rng"
 )
@@ -122,6 +124,61 @@ func TestDirectedAgreementProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDirectedProfiledMatchesFast: the instrumented §4.8 kernels return
+// the fast kernels' exact ranks and charge the expected synchronization —
+// atomics per out-arc when pushing, none when pulling.
+func TestDirectedProfiledMatchesFast(t *testing.T) {
+	dg := directedFixture(t, 300, 1800, 23)
+	opt := Options{Iterations: 6}
+	opt.Threads = 3
+	wantPush, _ := PushDirected(dg, opt)
+	wantPull, _ := PullDirected(dg, opt)
+
+	prof, grp := core.CountingProfile(3)
+	push, err := PushDirectedProfiled(dg, opt, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(push, wantPush); d > tol {
+		t.Fatalf("profiled directed push diff %g", d)
+	}
+	pushRep := grp.Report()
+	if pushRep.Get(counters.Atomics) == 0 {
+		t.Fatal("profiled directed push issued no atomics")
+	}
+
+	prof, grp = core.CountingProfile(3)
+	pull, err := PullDirectedProfiled(dg, opt, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(pull, wantPull); d > tol {
+		t.Fatalf("profiled directed pull diff %g", d)
+	}
+	pullRep := grp.Report()
+	if got := pullRep.Get(counters.Atomics); got != 0 {
+		t.Fatalf("profiled directed pull issued %d atomics, want 0", got)
+	}
+	if pullRep.Get(counters.Reads) == 0 {
+		t.Fatal("profiled directed pull recorded no reads")
+	}
+
+	// A push-only DirectedGraph may omit the in-view entirely.
+	noIn := &DirectedGraph{Out: dg.Out}
+	push2, err := PushDirectedProfiled(noIn, opt, core.Profile{}, nil)
+	if err == nil {
+		t.Fatal("invalid profile accepted") // Validate must still fire
+	}
+	prof, _ = core.CountingProfile(2)
+	push2, err = PushDirectedProfiled(noIn, opt, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(push2, wantPush); d > tol {
+		t.Fatalf("in-less profiled push diff %g", d)
 	}
 }
 

@@ -108,15 +108,20 @@ func Ablation(cfg Config) error {
 
 	fmt.Fprintf(cfg.Out, "\nPA partition sweep on orc (2m = %d adjacency slots):\n", g.M())
 	fmt.Fprintf(cfg.Out, "%-6s %14s %10s %16s\n", "P", "remote slots", "fraction", "PR+PA [ms/iter]")
+	// One Workload handle across the sweep: the engine builds and
+	// memoizes each partition count's PA split, replacing the hand-rolled
+	// BuildPA plumbing this driver used to carry.
+	wl := pushpull.NewWorkload(g)
 	for _, p := range []int{2, 4, 8, 16, 32} {
-		pa := graph.BuildPA(g, graph.NewPartition(g.N(), p))
-		rep, err := pushpull.Run(ctx, g, "pr",
+		rep, err := pushpull.Run(ctx, wl, "pr",
 			pushpull.WithThreads(cfg.Threads),
-			pushpull.WithPartitionAwareGraph(pa),
+			pushpull.WithPartitionAwareness(),
+			pushpull.WithPartitions(p),
 			pushpull.WithIterations(5))
 		if err != nil {
 			return err
 		}
+		pa := wl.PA(p) // the memoized split the run used
 		fmt.Fprintf(cfg.Out, "%-6d %14d %9.1f%% %16s\n", p, pa.RemoteEdges(),
 			100*float64(pa.RemoteEdges())/float64(g.M()), ms(rep.Stats.AvgIteration()))
 	}

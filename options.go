@@ -200,23 +200,29 @@ func (c *Config) effectiveThreads(n int) int {
 	return sched.Clamp(c.Threads, n)
 }
 
-// partitions resolves the partition count (default: effective threads).
-func (c *Config) partitions(n int) int {
+// partitions resolves the partition count: an explicit WithPartitions
+// wins, then the workload's AsPartitioned default, then the effective
+// thread count.
+func (c *Config) partitions(w *Workload) int {
 	if c.Partitions > 0 {
 		return c.Partitions
 	}
-	return c.effectiveThreads(n)
+	if p := w.DefaultPartitions(); p > 0 {
+		return p
+	}
+	return c.effectiveThreads(w.N())
 }
 
-// paGraph returns the caller-supplied PA layout, or builds one. A
-// supplied layout must have been built from the graph being run, else
-// the PA kernels would silently compute over the other graph.
-func (c *Config) paGraph(g *Graph) (*PAGraph, error) {
+// paGraph returns the caller-supplied PA layout, or the workload's
+// memoized one (built on first use). A supplied layout must have been
+// built from the graph being run, else the PA kernels would silently
+// compute over the other graph.
+func (c *Config) paGraph(w *Workload) (*PAGraph, error) {
 	if c.PA != nil {
-		if c.PA.G != g {
+		if c.PA.G != w.Graph() {
 			return nil, fmt.Errorf("pushpull: WithPartitionAwareGraph layout was built for a different graph")
 		}
 		return c.PA, nil
 	}
-	return BuildPA(g, NewPartition(g.N(), c.partitions(g.N()))), nil
+	return w.PA(c.partitions(w)), nil
 }

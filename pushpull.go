@@ -16,6 +16,19 @@
 //		pushpull.WithIterations(20))
 //	ranks := rep.Ranks()
 //
+// Graph kind is first-class: Run accepts a bare *Graph (undirected) or
+// a *Workload handle (NewWorkload, Directed, Weighted, Partitioned)
+// declaring directedness, weights and partitioning. The handle lazily
+// builds and memoizes the derived views repeated runs share — the
+// transpose behind directed pull (§4.8), the Partition-Awareness split
+// (§5), the Table 2 statistics — and every algorithm declares Caps()
+// the engine validates up front, returning typed precondition errors
+// (ErrNeedsWeights, ErrDirectedUnsupported, ...) before a worker starts:
+//
+//	w := pushpull.Directed(g) // g's rows are out-edges
+//	rep, err := pushpull.Run(ctx, w, "pr",
+//		pushpull.WithDirection(pushpull.Pull)) // gathers along w.Transpose()
+//
 // Runs are abortable: cancel ctx and the engine stops between
 // iterations, returning the partial Report with Stats.Canceled set and
 // the context's error. Instrumented runs (WithProbes) are the
@@ -32,7 +45,6 @@ package pushpull
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
 
@@ -147,17 +159,24 @@ func uniformTrace(d core.Direction, iters int) []Direction {
 	return out
 }
 
-// Run executes the named algorithm on g with the given options and
-// returns its Report.
+// Run executes the named algorithm on a Runnable — a bare *Graph
+// (auto-wrapped into an undirected single-use Workload) or a *Workload
+// handle declaring the graph kind — and returns its Report.
 //
 // Direction, thread count, schedule, switching policy, instrumentation
 // and the per-algorithm knobs are all Options; see the With* functions.
-// When ctx is cancelled mid-run the engine stops between iterations and
-// returns the partial Report together with ctx's error — callers that
-// care about partial results must check the Report even on error.
-func Run(ctx context.Context, g *Graph, algorithm string, opts ...Option) (*Report, error) {
-	if g == nil {
-		return nil, errors.New("pushpull: Run on nil graph")
+// Before anything runs, the algorithm's Caps are validated against the
+// workload and options, so unsupported combinations fail fast with one of
+// the typed precondition errors (ErrNeedsWeights, ErrDirectedUnsupported,
+// ErrProbesUnsupported, ErrPartitionAwareUnsupported) instead of deep in
+// a kernel. When ctx is cancelled mid-run the engine stops between
+// iterations and returns the partial Report together with ctx's error —
+// callers that care about partial results must check the Report even on
+// error.
+func Run(ctx context.Context, on Runnable, algorithm string, opts ...Option) (*Report, error) {
+	w, err := resolveWorkload(on)
+	if err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -170,7 +189,10 @@ func Run(ctx context.Context, g *Graph, algorithm string, opts ...Option) (*Repo
 	for _, opt := range opts {
 		opt(cfg)
 	}
-	rep, err := a.Run(ctx, g, cfg)
+	if err := validateCaps(a, w, cfg); err != nil {
+		return nil, err
+	}
+	rep, err := a.Run(ctx, w, cfg)
 	if rep != nil {
 		rep.Algorithm = a.Name()
 		// Surface the cancellation only when the run actually stopped

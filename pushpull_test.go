@@ -2,6 +2,7 @@ package pushpull_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -37,9 +38,9 @@ func weightedGraph(t testing.TB) *pushpull.Graph {
 	return gen.WithUniformWeights(g, 1, 10, 4)
 }
 
-func run(t testing.TB, g *pushpull.Graph, algo string, opts ...pushpull.Option) *pushpull.Report {
+func run(t testing.TB, on pushpull.Runnable, algo string, opts ...pushpull.Option) *pushpull.Report {
 	t.Helper()
-	rep, err := pushpull.Run(context.Background(), g, algo, opts...)
+	rep, err := pushpull.Run(context.Background(), on, algo, opts...)
 	if err != nil {
 		t.Fatalf("Run(%s): %v", algo, err)
 	}
@@ -71,9 +72,10 @@ func TestBuiltinsRegistered(t *testing.T) {
 
 type fakeAlgo struct{ name string }
 
-func (f *fakeAlgo) Name() string     { return f.name }
-func (f *fakeAlgo) Describe() string { return "test stub" }
-func (f *fakeAlgo) Run(context.Context, *pushpull.Graph, *pushpull.Config) (*pushpull.Report, error) {
+func (f *fakeAlgo) Name() string        { return f.name }
+func (f *fakeAlgo) Describe() string    { return "test stub" }
+func (f *fakeAlgo) Caps() pushpull.Caps { return pushpull.Caps{} }
+func (f *fakeAlgo) Run(context.Context, *pushpull.Workload, *pushpull.Config) (*pushpull.Report, error) {
 	return &pushpull.Report{}, nil
 }
 
@@ -290,8 +292,9 @@ func TestWithProbes(t *testing.T) {
 			push.Stats.Iterations, len(push.Directions))
 	}
 	// Every registry algorithm has an instrumented variant now — including
-	// mst and gc steered by a switch policy (Frontier-Exploit).
-	mstRep := run(t, g, "mst", pushpull.WithProbes(), pushpull.WithThreads(2))
+	// mst (which needs a weighted workload) and gc steered by a switch
+	// policy (Frontier-Exploit).
+	mstRep := run(t, weightedGraph(t), "mst", pushpull.WithProbes(), pushpull.WithThreads(2))
 	if mstRep.Counters == nil || mstRep.Counters.Get(pushpull.Reads) == 0 {
 		t.Error("probed mst returned no counters")
 	}
@@ -305,17 +308,22 @@ func TestWithProbes(t *testing.T) {
 func TestBadSources(t *testing.T) {
 	g := testGraph(t)
 	n := pushpull.V(g.N())
+	// The NeedsSource capability gate range-checks sources uniformly and
+	// returns the typed ErrBadSource.
 	if _, err := pushpull.Run(context.Background(), g, "bc",
-		pushpull.WithSources([]pushpull.V{n})); err == nil {
-		t.Error("bc accepted out-of-range source")
+		pushpull.WithSources([]pushpull.V{n})); !errors.Is(err, pushpull.ErrBadSource) {
+		t.Errorf("bc out-of-range source: err = %v, want ErrBadSource", err)
 	}
 	if _, err := pushpull.Run(context.Background(), g, "bfs",
-		pushpull.WithSource(n)); err == nil {
-		t.Error("bfs accepted out-of-range source")
+		pushpull.WithSource(n)); !errors.Is(err, pushpull.ErrBadSource) {
+		t.Errorf("bfs out-of-range source: err = %v, want ErrBadSource", err)
 	}
-	if _, err := pushpull.Run(context.Background(), g, "sssp",
-		pushpull.WithSource(n)); err == nil {
-		t.Error("sssp accepted out-of-range source")
+	// Weighted graph: the weights gate fires before the source check, so
+	// an unweighted one would pass vacuously here.
+	wg := weightedGraph(t)
+	if _, err := pushpull.Run(context.Background(), wg, "sssp",
+		pushpull.WithSource(pushpull.V(wg.N()))); !errors.Is(err, pushpull.ErrBadSource) {
+		t.Errorf("sssp out-of-range source: err = %v, want ErrBadSource", err)
 	}
 }
 
@@ -423,11 +431,18 @@ func TestCancelMidRun(t *testing.T) {
 
 func TestCancelBeforeRun(t *testing.T) {
 	g := testGraph(t)
+	// sssp and mst declare NeedsWeights, so they get a weighted workload —
+	// the capability gate fires before ctx is even consulted.
+	wg := weightedGraph(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, algo := range []string{"pr", "tc", "bfs", "sssp", "gc", "gc-fe", "gc-cr", "bc", "mst"} {
+		in := g
+		if algo == "sssp" || algo == "mst" {
+			in = wg
+		}
 		opts := []pushpull.Option{pushpull.WithSource(0)}
-		rep, err := pushpull.Run(ctx, g, algo, opts...)
+		rep, err := pushpull.Run(ctx, in, algo, opts...)
 		if err == nil {
 			t.Errorf("%s: pre-cancelled run returned nil error", algo)
 		}

@@ -8,19 +8,25 @@ import (
 )
 
 // Algorithm is one engine-runnable graph computation. Implementations
-// receive the resolved option set and return a Report; they must honor
-// ctx by stopping between iterations and returning the partial result.
+// receive the resolved workload handle and option set and return a
+// Report; they must honor ctx by stopping between iterations and
+// returning the partial result.
 //
 // The built-in algorithms (pr, tc, bfs, sssp, gc, bc, mst and variants)
 // register themselves at package init; external packages may Register
-// additional algorithms under fresh names.
+// additional algorithms under fresh names. Caps is validated by the
+// engine before Run is invoked, so Run never sees a workload kind or
+// option the declaration rejects.
 type Algorithm interface {
 	// Name is the registry key, lower-case and stable ("pr", "bfs", ...).
 	Name() string
 	// Describe summarizes the computation in one line.
 	Describe() string
-	// Run executes the algorithm on g with the resolved configuration.
-	Run(ctx context.Context, g *Graph, cfg *Config) (*Report, error)
+	// Caps declares what the algorithm needs from a workload and which
+	// kinds and instrumentation modes it supports.
+	Caps() Caps
+	// Run executes the algorithm on w with the resolved configuration.
+	Run(ctx context.Context, w *Workload, cfg *Config) (*Report, error)
 }
 
 var (

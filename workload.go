@@ -1,0 +1,277 @@
+package pushpull
+
+// Workload handles: the per-graph object that makes graph *kind* —
+// undirected vs directed, weighted vs not, partitioned — first-class in
+// the engine API, and that owns the expensive derived views every run
+// otherwise recomputes or cannot reach at all.
+//
+// The paper's §4.8 observation motivates the design: pushing iterates the
+// out-edges of a subset of vertices while pulling iterates the in-edges of
+// all of them, so a directed graph needs *both* adjacency views and the
+// cost bounds split into d̂out vs d̂in. The transpose (in-CSR) realizing the
+// pull view, the Partition-Awareness split of §5, and the Table 2 graph
+// statistics are all O(n + m) constructions worth exactly one build per
+// graph — so the Workload builds them lazily and memoizes them for every
+// subsequent Run, the engine-owned-view pattern of pull-frontier systems.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pushpull/internal/graph"
+)
+
+// Runnable is what Run executes an algorithm on: either a bare *Graph
+// (auto-wrapped into a single-use undirected Workload) or a *Workload
+// handle that declares the graph kind and memoizes derived views across
+// runs. No other type is accepted; Run rejects anything else at runtime.
+type Runnable interface {
+	// N returns the vertex count of the underlying graph.
+	N() int
+	// M returns the number of stored directed edge slots.
+	M() int64
+}
+
+// Workload binds a graph to its declared kind (directed, weighted,
+// partitioned) and lazily builds + memoizes the derived state repeated
+// runs share: the transpose (in-CSR) powering directed pull, the
+// Partition-Awareness split per partition count (§5), and the Table 2
+// statistics. A Workload is safe for concurrent Runs.
+type Workload struct {
+	g        *Graph
+	directed bool
+	// weightsDeclared records a Weighted(...)/AsWeighted() claim, checked
+	// against the graph at Run time so a mismatch fails fast and typed.
+	weightsDeclared bool
+	// defaultParts is the partition count of AsPartitioned; 0 defers to
+	// WithPartitions / the resolved thread count.
+	defaultParts int
+
+	mu        sync.Mutex
+	transpose *Graph
+	stats     *GraphStats
+	pa        map[int]*PAGraph
+	builds    WorkloadBuilds
+}
+
+// WorkloadBuilds counts the derived-view constructions a Workload has
+// performed — the observable behind memoization tests: a second Run on the
+// same handle must not increase these.
+type WorkloadBuilds struct {
+	// Transposes counts in-CSR (transpose) builds.
+	Transposes int
+	// PASplits counts Partition-Awareness layout builds (one per distinct
+	// partition count).
+	PASplits int
+	// Stats counts Table 2 statistics computations.
+	Stats int
+}
+
+// WorkloadOption declares one aspect of a workload's kind at construction.
+type WorkloadOption func(*Workload)
+
+// AsDirected declares the graph directed: its CSR rows are out-edges, the
+// memoized transpose supplies in-edges, and only algorithms whose Caps
+// report Directed support will run.
+func AsDirected() WorkloadOption { return func(w *Workload) { w.directed = true } }
+
+// AsWeighted declares that the workload requires edge weights. A graph
+// without weights then fails every Run fast with ErrNeedsWeights instead
+// of computing over silently-assumed unit weights.
+func AsWeighted() WorkloadOption { return func(w *Workload) { w.weightsDeclared = true } }
+
+// AsPartitioned sets the workload's default partition count: partition-
+// based runs (gc, partition-aware pr/tc) without an explicit
+// WithPartitions use it, and the memoized PA split is keyed by it.
+func AsPartitioned(parts int) WorkloadOption {
+	return func(w *Workload) {
+		if parts > 0 {
+			w.defaultParts = parts
+		}
+	}
+}
+
+// NewWorkload wraps g in a Workload handle. Without options the workload
+// is undirected and unweighted-tolerant — exactly what Run's bare-*Graph
+// auto-wrapping produces, except that the handle persists its memoized
+// views across runs.
+func NewWorkload(g *Graph, opts ...WorkloadOption) *Workload {
+	w := &Workload{g: g}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// Directed is NewWorkload(g, AsDirected(), opts...): a handle for a
+// directed graph whose CSR rows are out-edges.
+func Directed(g *Graph, opts ...WorkloadOption) *Workload {
+	return NewWorkload(g, append([]WorkloadOption{AsDirected()}, opts...)...)
+}
+
+// Weighted is NewWorkload(g, AsWeighted(), opts...): a handle that
+// requires edge weights and fails fast (ErrNeedsWeights) when g has none.
+func Weighted(g *Graph, opts ...WorkloadOption) *Workload {
+	return NewWorkload(g, append([]WorkloadOption{AsWeighted()}, opts...)...)
+}
+
+// Partitioned is NewWorkload(g, AsPartitioned(parts), opts...): a handle
+// with a default partition count for partition-based runs.
+func Partitioned(g *Graph, parts int, opts ...WorkloadOption) *Workload {
+	return NewWorkload(g, append([]WorkloadOption{AsPartitioned(parts)}, opts...)...)
+}
+
+// Graph returns the underlying graph (out-edges, for directed workloads).
+func (w *Workload) Graph() *Graph { return w.g }
+
+// N returns the vertex count (satisfying Runnable).
+func (w *Workload) N() int { return w.g.N() }
+
+// M returns the stored directed edge-slot count (satisfying Runnable).
+func (w *Workload) M() int64 { return w.g.M() }
+
+// IsDirected reports whether the workload was declared directed.
+func (w *Workload) IsDirected() bool { return w.directed }
+
+// HasWeights reports whether the underlying graph carries edge weights.
+func (w *Workload) HasWeights() bool { return w.g.Weighted() }
+
+// WeightsDeclared reports whether the workload was constructed with
+// Weighted/AsWeighted — i.e. whether it promises weights to every run.
+func (w *Workload) WeightsDeclared() bool { return w.weightsDeclared }
+
+// DefaultPartitions returns the AsPartitioned count, or 0 when none was
+// declared.
+func (w *Workload) DefaultPartitions() int { return w.defaultParts }
+
+// Transpose returns the in-edge view (the reverse CSR), building it on
+// first use and memoizing it for every later call. For an undirected
+// workload the adjacency is symmetric, so the graph itself is returned
+// without building anything.
+func (w *Workload) Transpose() *Graph {
+	if !w.directed {
+		return w.g
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.transpose == nil {
+		w.transpose = w.g.Transpose()
+		w.builds.Transposes++
+	}
+	return w.transpose
+}
+
+// PA returns the Partition-Awareness split (§5, Algorithm 8) of the graph
+// over parts partitions, building it on first use per distinct count and
+// memoizing it for every later call.
+func (w *Workload) PA(parts int) *PAGraph {
+	if parts < 1 {
+		parts = 1
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pa == nil {
+		w.pa = map[int]*PAGraph{}
+	}
+	pa, ok := w.pa[parts]
+	if !ok {
+		pa = graph.BuildPA(w.g, graph.NewPartition(w.g.N(), parts))
+		w.pa[parts] = pa
+		w.builds.PASplits++
+	}
+	return pa
+}
+
+// Stats returns the memoized Table 2 statistics of the graph.
+func (w *Workload) Stats() GraphStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stats == nil {
+		s := graph.ComputeStats(w.g)
+		w.stats = &s
+		w.builds.Stats++
+	}
+	return *w.stats
+}
+
+// Builds reports how many derived-view constructions this workload has
+// performed so far — the memoization observable: repeated runs on the same
+// handle must not increase the counts.
+func (w *Workload) Builds() WorkloadBuilds {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.builds
+}
+
+// Kind renders the declared kind ("undirected", "directed weighted", ...)
+// for error messages and summaries.
+func (w *Workload) Kind() string {
+	k := "undirected"
+	if w.directed {
+		k = "directed"
+	}
+	if w.weightsDeclared || w.HasWeights() {
+		k += " weighted"
+	}
+	if w.defaultParts > 0 {
+		k += fmt.Sprintf(" partitioned(%d)", w.defaultParts)
+	}
+	return k
+}
+
+// resolveWorkload lowers a Runnable onto the Workload handle the engine
+// dispatches on: a *Workload passes through, a bare *Graph auto-wraps
+// into a fresh undirected handle, anything else is rejected.
+func resolveWorkload(on Runnable) (*Workload, error) {
+	switch v := on.(type) {
+	case *Workload:
+		if v == nil {
+			return nil, fmt.Errorf("pushpull: Run on nil workload")
+		}
+		if v.g == nil {
+			return nil, fmt.Errorf("pushpull: Run on workload with nil graph")
+		}
+		return v, nil
+	case *Graph:
+		if v == nil {
+			return nil, fmt.Errorf("pushpull: Run on nil graph")
+		}
+		return NewWorkload(v), nil
+	case nil:
+		return nil, fmt.Errorf("pushpull: Run on nil graph")
+	default:
+		return nil, fmt.Errorf("pushpull: Run accepts *Graph or *Workload, got %T", on)
+	}
+}
+
+// ---- workload serialization ----
+
+// WriteWorkload serializes the workload as a portable edge list whose
+// header records the graph kind, so directedness and weights survive the
+// round trip through ReadWorkload. The AsPartitioned default is
+// deliberately NOT serialized: it is machine-local tuning (it tracks the
+// reader's thread count, not the graph), so the loading side declares its
+// own via Partitioned/AsPartitioned.
+func WriteWorkload(dst io.Writer, w *Workload) error {
+	return graph.WriteEdgeListKind(dst, w.g, w.directed)
+}
+
+// ReadWorkload parses an edge list written by WriteWorkload (or
+// WriteEdgeList), restoring the recorded graph kind: the returned handle
+// is directed and/or weighted exactly as the written one was (the
+// partition default is not persisted; see WriteWorkload).
+func ReadWorkload(src io.Reader) (*Workload, error) {
+	g, directed, err := graph.ReadEdgeListKind(src)
+	if err != nil {
+		return nil, err
+	}
+	var opts []WorkloadOption
+	if directed {
+		opts = append(opts, AsDirected())
+	}
+	if g.Weighted() {
+		opts = append(opts, AsWeighted())
+	}
+	return NewWorkload(g, opts...), nil
+}
