@@ -10,9 +10,11 @@
 package pushpull_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
+	"pushpull"
 	"pushpull/internal/harness"
 )
 
@@ -85,3 +87,42 @@ func BenchmarkPRAM_Primitives(b *testing.B) { runExperiment(b, "pram") }
 
 // BenchmarkLA_SpMV regenerates the §7.1 CSR/CSC cross-check.
 func BenchmarkLA_SpMV(b *testing.B) { runExperiment(b, "la") }
+
+// ---- serving-layer benchmarks: cached vs uncached Engine runs ----
+
+// benchEngineRun times repeated identical PageRank requests against an
+// Engine; the cached/uncached pair quantifies what the result cache buys
+// a serving layer (the cached variant must come out ≥10x faster — it
+// runs no kernel at all).
+func benchEngineRun(b *testing.B, eng *pushpull.Engine) {
+	b.Helper()
+	g, err := pushpull.RMAT(pushpull.DefaultRMAT(13, 8, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := pushpull.NewWorkload(g)
+	ctx := context.Background()
+	opts := []pushpull.Option{pushpull.WithDirection(pushpull.Pull), pushpull.WithIterations(20)}
+	// Warm outside the timed region (fills the cache when one exists).
+	if _, err := eng.Run(ctx, w, "pr", opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, w, "pr", opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRunUncached is the baseline: every request executes the
+// PageRank kernels (result caching disabled).
+func BenchmarkEngineRunUncached(b *testing.B) {
+	benchEngineRun(b, pushpull.NewEngine(pushpull.WithResultCache(0)))
+}
+
+// BenchmarkEngineRunCached serves every request after the first from the
+// LRU result cache.
+func BenchmarkEngineRunCached(b *testing.B) {
+	benchEngineRun(b, pushpull.NewEngine())
+}

@@ -76,7 +76,27 @@ var (
 	// ErrBadSource: a configured source vertex is outside the workload's
 	// vertex range.
 	ErrBadSource = errors.New("source vertex out of range")
+	// ErrBadOption: an option carries a value outside its domain (negative
+	// WithThreads/WithPartitions/WithRanks). Zero always means "use the
+	// default"; negatives used to be clamped or to panic deep in a kernel
+	// and now fail at Run entry instead.
+	ErrBadOption = errors.New("option value out of range")
 )
+
+// validateOptions rejects out-of-domain option values before capability
+// checks or any kernel work: zero keeps each option's documented default,
+// a negative count is a caller bug surfaced as ErrBadOption.
+func validateOptions(cfg *Config) error {
+	switch {
+	case cfg.Threads < 0:
+		return fmt.Errorf("pushpull: WithThreads(%d): %w (0 means GOMAXPROCS)", cfg.Threads, ErrBadOption)
+	case cfg.Partitions < 0:
+		return fmt.Errorf("pushpull: WithPartitions(%d): %w (0 means the resolved thread count)", cfg.Partitions, ErrBadOption)
+	case cfg.Ranks < 0:
+		return fmt.Errorf("pushpull: WithRanks(%d): %w (0 means the default cluster size)", cfg.Ranks, ErrBadOption)
+	}
+	return nil
+}
 
 // validateCaps checks the resolved workload and configuration against the
 // algorithm's declared capabilities; it is the single precondition gate

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pushpull [flags] run <algorithm>   # one engine run via the facade
+//	pushpull [flags] serve             # HTTP serving front over an Engine
 //	pushpull [flags] <experiment-id>|all|list
 //
 //	pushpull run pr -dir pull          # PageRank, pulling
@@ -14,6 +15,7 @@
 //	pushpull -t 8 run sssp -graph rca -dir auto
 //	pushpull run pr -probes            # instrumented run + counter bill
 //	pushpull run dist-pr-mp -ranks 32  # §6.3 simulated cluster
+//	pushpull serve -addr :8080 -graphs rmat,rca
 //	pushpull table3                    # PR and TC push-vs-pull times
 //	pushpull all                       # every experiment, paper order
 //
@@ -30,13 +32,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pushpull"
 	"pushpull/internal/harness"
+	"pushpull/serve"
 )
 
 func main() {
@@ -54,6 +61,9 @@ func main() {
 	switch arg {
 	case "run":
 		runAlgorithm(flag.Args()[1:], *threads, *scale, *seed)
+		return
+	case "serve":
+		serveEngine(flag.Args()[1:], *scale, *seed)
 		return
 	case "list":
 		printCatalog(os.Stdout)
@@ -225,6 +235,8 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 			fmt.Fprintf(os.Stderr, "pushpull: %s has no instrumented variant; drop -probes\n", algo)
 		case errors.Is(err, pushpull.ErrPartitionAwareUnsupported):
 			fmt.Fprintf(os.Stderr, "pushpull: %s does not support partition awareness here: %v\n", algo, err)
+		case errors.Is(err, pushpull.ErrBadOption):
+			fmt.Fprintln(os.Stderr, err) // already carries the pushpull: prefix
 		default:
 			fmt.Fprintln(os.Stderr, err) // facade errors carry their own prefix
 		}
@@ -241,6 +253,82 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 	}
 	if rep.Counters != nil {
 		fmt.Print(rep.Counters) // the event bill of probed and dist-* runs
+	}
+}
+
+// serveEngine starts the HTTP serving front: one long-lived Engine with
+// a bounded worker pool and LRU result cache, exposed via pushpull/serve.
+func serveEngine(args []string, scale float64, seed uint64) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", pushpull.DefaultCacheCapacity, "result-cache capacity in entries (0 disables)")
+	graphs := fs.String("graphs", "", "comma-separated suite graph ids to preload (e.g. rmat,rca; weights attached)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-graphs ids]\n")
+		os.Exit(2)
+	}
+
+	var engOpts []pushpull.EngineOption
+	if *workers > 0 {
+		engOpts = append(engOpts, pushpull.WithWorkers(*workers))
+	}
+	engOpts = append(engOpts, pushpull.WithResultCache(*cache))
+	eng := pushpull.NewEngine(engOpts...)
+
+	if *graphs != "" {
+		for _, id := range strings.Split(*graphs, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			// Weighted builds serve every algorithm, sssp/mst included.
+			g, err := pushpull.NamedWeightedGraph(id, scale, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pushpull: preload %q: %v\n", id, err)
+				os.Exit(1)
+			}
+			w := pushpull.NewWorkload(g, pushpull.AsWeighted())
+			if err := eng.RegisterWorkload(id, w); err != nil {
+				fmt.Fprintf(os.Stderr, "pushpull: preload %q: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("preloaded %s (%s): n=%d m=%d\n", id, w.Kind(), g.N(), g.UndirectedM())
+		}
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(eng),
+		// A long-lived front must shed stalled clients: without these a
+		// trickled header or never-finished upload pins its goroutine
+		// and connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0) // the NewEngine default pool bound
+	}
+	fmt.Printf("serving %d algorithms on http://%s (workers=%d cache=%d)\n",
+		len(pushpull.Algorithms()), *addr, effWorkers, *cache)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pushpull: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("caught %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: shutdown: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -274,7 +362,7 @@ func orientDirected(g *pushpull.Graph) (*pushpull.Graph, error) {
 // by "pushpull list" and the usage text.
 func printCatalog(w io.Writer) {
 	fmt.Fprintln(w, "Algorithms (pushpull run <name>; caps in brackets):")
-	for _, name := range pushpull.List() {
+	for _, name := range pushpull.Algorithms() {
 		a, _ := pushpull.Lookup(name)
 		fmt.Fprintf(w, "  %-18s %s [%s]\n", name, a.Describe(), a.Caps())
 	}
@@ -285,10 +373,11 @@ func printCatalog(w io.Writer) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | <experiment-id>|all|list
+	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | serve | <experiment-id>|all|list
 
-Runs any push/pull algorithm through the unified engine API, or
-regenerates the tables and figures of "To Push or To Pull" (HPDC'17).
+Runs any push/pull algorithm through the unified engine API, serves the
+engine over HTTP (pushpull serve), or regenerates the tables and figures
+of "To Push or To Pull" (HPDC'17).
 
 `)
 	printCatalog(os.Stderr)

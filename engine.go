@@ -1,0 +1,380 @@
+package pushpull
+
+// The Engine: the long-lived serving object behind Run. A one-shot call
+// pays the full price of its kernels every time; a production service
+// amortizes — the paper's direction-derived state (in-CSR, PA splits) is
+// already memoized per Workload handle, and the Engine adds the two
+// request-level layers on top:
+//
+//   - a bounded worker pool with an admission queue, so a traffic burst
+//     degrades into queue wait (reported per run as Stats.QueueWait)
+//     instead of oversubscribing the kernels' own thread pools, and
+//   - an LRU result cache keyed on (stable Workload content identity,
+//     algorithm name, canonical options fingerprint), so an identical
+//     request is answered without running anything (Stats.CacheHit).
+//
+// pushpull.Run is a thin call on a lazily-initialized default Engine, so
+// every pre-Engine call site keeps compiling and behaving identically:
+// the default Engine is unbounded and uncached, preserving the facade's
+// one-shot timing semantics (benchmarks and the paper harness must
+// measure real kernel runs, never cache hits). Serving layers construct
+// their own Engine and opt in:
+//
+//	eng := pushpull.NewEngine() // GOMAXPROCS workers, 128-entry cache
+//	rep1, _ := eng.Run(ctx, w, "pr", pushpull.WithIterations(20))
+//	rep2, _ := eng.Run(ctx, w, "pr", pushpull.WithIterations(20))
+//	// rep2.Stats.CacheHit == true; no kernel ran.
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCacheCapacity is the result-cache size (entries) of NewEngine
+// when WithResultCache does not override it.
+const DefaultCacheCapacity = 128
+
+// Engine is a long-lived run scheduler: a bounded worker pool, an LRU
+// result cache, and a name→Workload registry for serving fronts. An
+// Engine is safe for concurrent use; the zero value is not valid — use
+// NewEngine (or the package-level Run, which uses the default Engine).
+type Engine struct {
+	// sem is the worker-pool semaphore; nil means unbounded admission.
+	sem chan struct{}
+
+	cacheMu sync.Mutex
+	cache   *resultCache // nil when caching is disabled
+
+	wlMu      sync.RWMutex
+	workloads map[string]*Workload
+
+	hits, misses, uncacheable atomic.Uint64
+	queuedRuns                atomic.Uint64
+	queueWaitNS               atomic.Int64
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	workers  int
+	cacheCap int
+}
+
+// WithWorkers bounds the Engine's worker pool to n concurrent runs;
+// excess runs wait in the admission queue (their wait is reported as
+// Stats.QueueWait). n ≤ 0 removes the bound. NewEngine's default is
+// GOMAXPROCS — one kernel's thread pool per hardware context.
+func WithWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.workers = n }
+}
+
+// WithResultCache sets the LRU result-cache capacity in entries;
+// capacity ≤ 0 disables result caching entirely. NewEngine's default is
+// DefaultCacheCapacity.
+func WithResultCache(capacity int) EngineOption {
+	return func(c *engineConfig) { c.cacheCap = capacity }
+}
+
+// NewEngine builds an Engine with a GOMAXPROCS-bounded worker pool and a
+// DefaultCacheCapacity-entry result cache, then applies opts.
+func NewEngine(opts ...EngineOption) *Engine {
+	cfg := engineConfig{workers: runtime.GOMAXPROCS(0), cacheCap: DefaultCacheCapacity}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e := &Engine{workloads: map[string]*Workload{}}
+	if cfg.workers > 0 {
+		e.sem = make(chan struct{}, cfg.workers)
+	}
+	if cfg.cacheCap > 0 {
+		e.cache = newResultCache(cfg.cacheCap)
+	}
+	return e
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the process-wide Engine behind the package-level
+// Run, initializing it on first use. It is deliberately unbounded and
+// uncached — the facade's one-shot semantics (every Run measures a real
+// kernel execution) predate the Engine and must survive it; a serving
+// layer wanting admission control and result caching builds its own
+// Engine with NewEngine.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = NewEngine(WithWorkers(0), WithResultCache(0))
+	})
+	return defaultEngine
+}
+
+// Run executes the named algorithm on a Runnable exactly like the
+// package-level Run, routed through this Engine's admission queue and
+// result cache.
+//
+// A run is served from cache when all of the following hold: the Engine
+// caches (WithResultCache > 0), the caller passed a *Workload handle (a
+// bare *Graph is single-use, so hashing it every call would be pure
+// overhead), the options fingerprint as cacheable (no WithIterationHook,
+// WithProbes, WithPartitionAwareGraph, or custom switch policy), and an
+// identical (workload content, algorithm, options) run completed before.
+// Cache hits bypass the worker pool and return a shallow copy of the
+// cached Report with Stats.CacheHit set. On a caching Engine the payload
+// slices of a cacheable run are shared between the run that computed
+// them and every later hit, so ALL callers — the first (miss) included —
+// must treat them as read-only. Canceled (partial) runs and failed runs
+// are never cached.
+func (e *Engine) Run(ctx context.Context, on Runnable, algorithm string, opts ...Option) (*Report, error) {
+	w, err := resolveWorkload(on)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a, err := Lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	if err := validateOptions(cfg); err != nil {
+		return nil, err
+	}
+	if err := validateCaps(a, w, cfg); err != nil {
+		return nil, err
+	}
+
+	_, isHandle := on.(*Workload)
+	key := ""
+	if e.cache != nil && isHandle {
+		if fp, ok := cfg.fingerprint(); ok {
+			key = w.ID() + "|" + a.Name() + "|" + fp
+		}
+	}
+	if key == "" {
+		e.uncacheable.Add(1)
+	} else if rep, ok := e.cacheGet(key); ok {
+		e.hits.Add(1)
+		return cachedCopy(rep), nil
+	} else {
+		e.misses.Add(1)
+	}
+
+	wait, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+
+	rep, err := execute(ctx, a, w, cfg)
+	if rep != nil {
+		rep.Stats.QueueWait = wait
+		if key != "" && err == nil && !rep.Stats.Canceled {
+			// Store a snapshot of the struct so the miss-path caller
+			// editing its Report fields cannot poison later hits. The
+			// payload slices stay shared (deep-copying every result
+			// shape would defeat the cache): on a caching Engine they
+			// are read-only for every caller, miss and hit alike.
+			snap := *rep
+			e.cachePut(key, &snap)
+		}
+	}
+	return rep, err
+}
+
+// execute is the dispatch tail shared by every Engine: capability checks
+// are already done, so run the algorithm and normalize the Report.
+func execute(ctx context.Context, a Algorithm, w *Workload, cfg *Config) (*Report, error) {
+	rep, err := a.Run(ctx, w, cfg)
+	if rep != nil {
+		rep.Algorithm = a.Name()
+		// Surface the cancellation only when the run actually stopped
+		// early: a run that completed its final iteration just as ctx
+		// fired — or an instrumented (WithProbes) run, which never
+		// polls ctx — returns its complete result without error.
+		if err == nil && rep.Stats.Canceled && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}
+	return rep, err
+}
+
+// admit blocks until a worker slot frees up (or ctx fires while
+// queueing), returning how long the run waited.
+func (e *Engine) admit(ctx context.Context) (time.Duration, error) {
+	if e.sem == nil {
+		return 0, nil
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	e.queuedRuns.Add(1)
+	start := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+		wait := time.Since(start)
+		e.queueWaitNS.Add(int64(wait))
+		return wait, nil
+	case <-ctx.Done():
+		e.queueWaitNS.Add(int64(time.Since(start)))
+		return 0, fmt.Errorf("pushpull: canceled in admission queue: %w", ctx.Err())
+	}
+}
+
+func (e *Engine) release() {
+	if e.sem != nil {
+		<-e.sem
+	}
+}
+
+// cachedCopy returns the per-request view of a cached report: a shallow
+// copy flagged CacheHit, sharing the (read-only) payload of the original
+// run while keeping that run's timings visible.
+func cachedCopy(rep *Report) *Report {
+	cp := *rep
+	cp.Stats.CacheHit = true
+	cp.Stats.QueueWait = 0
+	return &cp
+}
+
+func (e *Engine) cacheGet(key string) (*Report, bool) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.cache.get(key)
+}
+
+func (e *Engine) cachePut(key string, rep *Report) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	e.cache.put(key, rep)
+}
+
+// EngineStats is a point-in-time snapshot of an Engine's serving
+// telemetry.
+type EngineStats struct {
+	// CacheHits / CacheMisses count cacheable runs by outcome.
+	CacheHits, CacheMisses uint64
+	// Uncacheable counts runs that bypassed the cache (bare *Graph,
+	// hooks, probes, caller-supplied PA layouts, custom policies, or a
+	// cache-disabled Engine).
+	Uncacheable uint64
+	// CacheEntries is the current number of cached reports.
+	CacheEntries int
+	// QueuedRuns counts runs that waited in the admission queue;
+	// QueueWait is their cumulative wait.
+	QueuedRuns uint64
+	QueueWait  time.Duration
+}
+
+// Stats snapshots the Engine's cache and queue telemetry.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		CacheHits:   e.hits.Load(),
+		CacheMisses: e.misses.Load(),
+		Uncacheable: e.uncacheable.Load(),
+		QueuedRuns:  e.queuedRuns.Load(),
+		QueueWait:   time.Duration(e.queueWaitNS.Load()),
+	}
+	if e.cache != nil {
+		e.cacheMu.Lock()
+		s.CacheEntries = e.cache.ll.Len()
+		e.cacheMu.Unlock()
+	}
+	return s
+}
+
+// ---- named workloads (the serving front's graph registry) ----
+
+// RegisterWorkload binds name to a Workload handle on this Engine,
+// replacing any previous binding (PUT semantics — re-uploading a graph
+// under the same name is how a serving front refreshes it; the result
+// cache keys on content identity, so stale entries cannot be served for
+// the new graph).
+func (e *Engine) RegisterWorkload(name string, w *Workload) error {
+	if name == "" {
+		return fmt.Errorf("pushpull: RegisterWorkload with empty name")
+	}
+	if w == nil || w.g == nil {
+		return fmt.Errorf("pushpull: RegisterWorkload(%q) with nil workload", name)
+	}
+	e.wlMu.Lock()
+	defer e.wlMu.Unlock()
+	e.workloads[name] = w
+	return nil
+}
+
+// Workload returns the handle registered under name, if any.
+func (e *Engine) Workload(name string) (*Workload, bool) {
+	e.wlMu.RLock()
+	defer e.wlMu.RUnlock()
+	w, ok := e.workloads[name]
+	return w, ok
+}
+
+// WorkloadNames lists the registered workload names, sorted.
+func (e *Engine) WorkloadNames() []string {
+	e.wlMu.RLock()
+	defer e.wlMu.RUnlock()
+	names := make([]string, 0, len(e.workloads))
+	for n := range e.workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- LRU result cache ----
+
+// resultCache is a plain LRU over completed Reports; the Engine guards
+// it with cacheMu (hits mutate recency, so even reads write).
+type resultCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	rep *Report
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{capacity: capacity, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(key string) (*Report, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+func (c *resultCache) put(key string, rep *Report) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}

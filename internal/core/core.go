@@ -119,6 +119,13 @@ type RunStats struct {
 	// Canceled marks a run stopped early by Options.Ctx; the result the
 	// run returned is partial.
 	Canceled bool
+	// CacheHit marks a report served from an engine's result cache: no
+	// kernel ran, and Elapsed/PerIteration describe the original run.
+	CacheHit bool
+	// QueueWait is how long the run waited in the engine's admission
+	// queue before a worker slot freed up (0 when admitted immediately
+	// or served from cache).
+	QueueWait time.Duration
 }
 
 // AvgIteration returns the mean per-iteration time.

@@ -3,6 +3,7 @@ package pushpull
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"pushpull/internal/core"
@@ -55,7 +56,8 @@ func dirFromCore(d core.Direction) Direction {
 type Config struct {
 	// Direction is the requested update direction (Auto, Push, Pull).
 	Direction Direction
-	// Threads is the worker count T (≤0: GOMAXPROCS).
+	// Threads is the worker count T (0: GOMAXPROCS; negative values are
+	// rejected at Run entry with ErrBadOption).
 	Threads int
 	// Schedule picks the parallel-loop schedule (Static, Dynamic).
 	Schedule Schedule
@@ -85,7 +87,8 @@ type Config struct {
 	// MaxIters bounds conflict-resolution iterations (gc); 0 = default.
 	MaxIters int
 	// Partitions is the partition count for partition-based algorithms
-	// (gc, partition-aware pr/tc); 0 = the resolved thread count.
+	// (gc, partition-aware pr/tc); 0 = the resolved thread count; negative
+	// values are rejected at Run entry with ErrBadOption.
 	Partitions int
 	// PartitionAware requests the Partition-Awareness acceleration
 	// (§5, Algorithm 8) for push-direction pr and tc.
@@ -95,8 +98,9 @@ type Config struct {
 	// through WithPartitionAwareGraph, which also implies PartitionAware.
 	PA *PAGraph
 	// Ranks is the simulated cluster size P for the dist-* algorithms
-	// (0: Threads if set, else DefaultDistRanks). Shared-memory
-	// algorithms ignore it.
+	// (0: Threads if set, else DefaultDistRanks; negative values are
+	// rejected at Run entry with ErrBadOption). Shared-memory algorithms
+	// ignore it.
 	Ranks int
 }
 
@@ -107,7 +111,8 @@ type Option func(*Config)
 // default Auto.
 func WithDirection(d Direction) Option { return func(c *Config) { c.Direction = d } }
 
-// WithThreads sets the worker count T (≤0 means GOMAXPROCS).
+// WithThreads sets the worker count T (0 means GOMAXPROCS; a negative
+// count fails the run with ErrBadOption).
 func WithThreads(t int) Option { return func(c *Config) { c.Threads = t } }
 
 // WithSchedule picks the parallel-loop schedule (Static or Dynamic).
@@ -211,6 +216,56 @@ func (c *Config) partitions(w *Workload) int {
 		return p
 	}
 	return c.effectiveThreads(w.N())
+}
+
+// fingerprint renders the configuration as a deterministic, canonical
+// string — the options component of an Engine's result-cache key. Two
+// configs produce the same fingerprint exactly when an identical run
+// would compute the same report, so every result-shaping knob is folded
+// in with a fixed field order.
+//
+// It returns ok=false for configs that must never be served from cache:
+// an iteration hook observes live per-iteration timings, probes produce
+// a measurement pass the caller wants re-executed, a caller-supplied PA
+// layout and custom switch policies carry pointer-identified mutable
+// state no canonical encoding can capture. The built-in policies
+// (GenericSwitch, GreedySwitch, NeverSwitch) are value-parameterized and
+// fingerprint by those parameters.
+func (c *Config) fingerprint() (fp string, ok bool) {
+	if c.Hook != nil || c.Probes || c.PA != nil {
+		return "", false
+	}
+	sw := "-"
+	switch p := c.Switch.(type) {
+	case nil:
+	case *core.GenericSwitch:
+		sw = fmt.Sprintf("gs(%g)", p.Threshold)
+	case *core.GreedySwitch:
+		sw = fmt.Sprintf("grs(%g,%d)", p.Fraction, p.Total)
+	case core.NeverSwitch, *core.NeverSwitch:
+		sw = "never"
+	default:
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dir=%d;t=%d;sched=%d;sw=%s;src=%d;iters=%d;damp=",
+		c.Direction, c.Threads, c.Schedule, sw, c.Source, c.Iterations)
+	if c.DampingSet {
+		fmt.Fprintf(&b, "%g", c.Damping)
+	} else {
+		b.WriteByte('-')
+	}
+	fmt.Fprintf(&b, ";delta=%g;maxit=%d;parts=%d;pa=%t;ranks=%d;srcs=",
+		c.Delta, c.MaxIters, c.Partitions, c.PartitionAware, c.Ranks)
+	// nil and empty Sources are distinct configurations (bc: all
+	// vertices vs zero sources) and must not share a key.
+	if c.Sources == nil {
+		b.WriteByte('-')
+	}
+	for _, s := range c.Sources {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String(), true
 }
 
 // paGraph returns the caller-supplied PA layout, or the workload's

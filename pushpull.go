@@ -165,43 +165,20 @@ func uniformTrace(d core.Direction, iters int) []Direction {
 //
 // Direction, thread count, schedule, switching policy, instrumentation
 // and the per-algorithm knobs are all Options; see the With* functions.
-// Before anything runs, the algorithm's Caps are validated against the
-// workload and options, so unsupported combinations fail fast with one of
-// the typed precondition errors (ErrNeedsWeights, ErrDirectedUnsupported,
-// ErrProbesUnsupported, ErrPartitionAwareUnsupported) instead of deep in
-// a kernel. When ctx is cancelled mid-run the engine stops between
-// iterations and returns the partial Report together with ctx's error —
-// callers that care about partial results must check the Report even on
-// error.
+// Before anything runs, the options are range-checked (ErrBadOption for
+// negative WithThreads/WithPartitions/WithRanks) and the algorithm's Caps
+// are validated against the workload and options, so unsupported
+// combinations fail fast with one of the typed precondition errors
+// (ErrNeedsWeights, ErrDirectedUnsupported, ErrProbesUnsupported,
+// ErrPartitionAwareUnsupported) instead of deep in a kernel. When ctx is
+// cancelled mid-run the engine stops between iterations and returns the
+// partial Report together with ctx's error — callers that care about
+// partial results must check the Report even on error.
+//
+// Run is a thin call on the lazily-initialized DefaultEngine, which is
+// unbounded and uncached so every call executes its kernels for real. A
+// serving layer that wants admission control and result caching builds
+// its own Engine (NewEngine) and calls Engine.Run.
 func Run(ctx context.Context, on Runnable, algorithm string, opts ...Option) (*Report, error) {
-	w, err := resolveWorkload(on)
-	if err != nil {
-		return nil, err
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	a, err := Lookup(algorithm)
-	if err != nil {
-		return nil, err
-	}
-	cfg := &Config{}
-	for _, opt := range opts {
-		opt(cfg)
-	}
-	if err := validateCaps(a, w, cfg); err != nil {
-		return nil, err
-	}
-	rep, err := a.Run(ctx, w, cfg)
-	if rep != nil {
-		rep.Algorithm = a.Name()
-		// Surface the cancellation only when the run actually stopped
-		// early: a run that completed its final iteration just as ctx
-		// fired — or an instrumented (WithProbes) run, which never
-		// polls ctx — returns its complete result without error.
-		if err == nil && rep.Stats.Canceled && ctx.Err() != nil {
-			err = ctx.Err()
-		}
-	}
-	return rep, err
+	return DefaultEngine().Run(ctx, on, algorithm, opts...)
 }

@@ -81,8 +81,10 @@ func Algorithms() []string {
 	return algorithmNamesLocked()
 }
 
-// List is Algorithms under the catalog name: every registered algorithm,
-// sorted, shared- and distributed-memory alike.
+// List is a thin alias of Algorithms, kept (like the Dist* wrappers) for
+// source compatibility with the PR 2 catalog name.
+//
+// Deprecated: use Algorithms.
 func List() []string { return Algorithms() }
 
 func algorithmNamesLocked() []string {

@@ -1,0 +1,424 @@
+// Package serve exposes a pushpull.Engine over HTTP: the serving front
+// of the engine-centric architecture. One long-lived Engine owns the
+// worker pool, the LRU result cache, and the registered Workload handles
+// (with their memoized transposes, PA splits and statistics); this
+// package is a thin JSON front over it — upload or register graphs once,
+// then POST runs against them and let the engine amortize everything the
+// paper shows is worth amortizing.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	GET  /algorithms       the registry: name, description, caps
+//	GET  /graphs           registered workloads: name, n, m, kind, id
+//	PUT  /graphs/{name}    register a workload from an edge-list body
+//	                       (the WriteWorkload format; the header's kind
+//	                       flags — directed, weighted — are honored)
+//	POST /run              {"graph": ..., "algorithm": ..., "options": {...}}
+//	GET  /stats            engine cache/queue telemetry
+//
+// Run responses carry the uniform Report lowered to JSON: the payload
+// (ranks/counts/colors/parents+levels where the algorithm has one), the
+// direction trace, and the run stats including cache_hit and
+// queue_wait_ns — the serving layer is benchmarkable end to end.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pushpull"
+)
+
+// MaxGraphBytes bounds a PUT /graphs upload body.
+const MaxGraphBytes = 1 << 30
+
+// Server is an http.Handler serving one Engine.
+type Server struct {
+	eng *pushpull.Engine
+	mux *http.ServeMux
+}
+
+// New builds a Server over eng.
+func New(eng *pushpull.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /algorithms", s.algorithms)
+	s.mux.HandleFunc("GET /graphs", s.graphs)
+	s.mux.HandleFunc("PUT /graphs/{name}", s.putGraph)
+	s.mux.HandleFunc("POST /run", s.run)
+	s.mux.HandleFunc("GET /stats", s.stats)
+	return s
+}
+
+// Engine returns the Engine the server fronts.
+func (s *Server) Engine() *pushpull.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- request/response shapes ----
+
+// AlgorithmInfo is one GET /algorithms entry.
+type AlgorithmInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Caps        string `json:"caps"`
+}
+
+// GraphInfo is one GET /graphs entry (also the PUT /graphs response).
+type GraphInfo struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int64  `json:"m"`
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+}
+
+// RunRequest is the POST /run body.
+type RunRequest struct {
+	// Graph names a workload registered on the engine (PUT /graphs or
+	// server-side preload).
+	Graph string `json:"graph"`
+	// Algorithm is the registry name ("pr", "bfs", "dist-pr-mp", ...).
+	Algorithm string `json:"algorithm"`
+	// Options carries the run options; zero values mean the engine
+	// defaults, exactly like the With* functional options.
+	Options RunOptions `json:"options"`
+}
+
+// RunOptions is the JSON projection of the engine's functional options.
+// Unknown fields are rejected so a typo cannot silently run defaults.
+type RunOptions struct {
+	Direction      string   `json:"direction,omitempty"` // "push", "pull", "auto"
+	Threads        int      `json:"threads,omitempty"`
+	Iterations     int      `json:"iterations,omitempty"`
+	MaxIters       int      `json:"max_iters,omitempty"`
+	Source         int      `json:"source,omitempty"`
+	Sources        []int    `json:"sources,omitempty"`
+	Delta          float64  `json:"delta,omitempty"`
+	Damping        *float64 `json:"damping,omitempty"`
+	Partitions     int      `json:"partitions,omitempty"`
+	PartitionAware bool     `json:"partition_aware,omitempty"`
+	Ranks          int      `json:"ranks,omitempty"`
+	// TimeoutMS bounds the run server-side; the request context already
+	// cancels it when the client disconnects.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the POST /run body on success.
+type RunResponse struct {
+	Algorithm  string   `json:"algorithm"`
+	Graph      string   `json:"graph"`
+	Summary    string   `json:"summary"`
+	Stats      RunStats `json:"stats"`
+	Directions []string `json:"directions,omitempty"`
+	// Ranks holds float payloads (pr ranks, bc scores, sssp distances);
+	// non-finite entries — the +Inf distance of an unreached vertex —
+	// are encoded as null.
+	Ranks   Floats  `json:"ranks,omitempty"`
+	Counts  []int64 `json:"counts,omitempty"`
+	Colors  []int32 `json:"colors,omitempty"`
+	Parents []int64 `json:"parents,omitempty"`
+	Levels  []int32 `json:"levels,omitempty"`
+}
+
+// RunStats is the JSON projection of the report's RunStats.
+type RunStats struct {
+	Direction   string `json:"direction"`
+	Iterations  int    `json:"iterations"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+	QueueWaitNS int64  `json:"queue_wait_ns"`
+	CacheHit    bool   `json:"cache_hit"`
+	Canceled    bool   `json:"canceled"`
+}
+
+// EngineStats is the GET /stats body.
+type EngineStats struct {
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Uncacheable  uint64 `json:"uncacheable"`
+	CacheEntries int    `json:"cache_entries"`
+	QueuedRuns   uint64 `json:"queued_runs"`
+	QueueWaitNS  int64  `json:"queue_wait_ns"`
+	Graphs       int    `json:"graphs"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) algorithms(w http.ResponseWriter, r *http.Request) {
+	names := pushpull.Algorithms()
+	out := make([]AlgorithmInfo, 0, len(names))
+	for _, n := range names {
+		a, err := pushpull.Lookup(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, AlgorithmInfo{Name: n, Description: a.Describe(), Caps: a.Caps().String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) graphs(w http.ResponseWriter, r *http.Request) {
+	names := s.eng.WorkloadNames()
+	out := make([]GraphInfo, 0, len(names))
+	for _, n := range names {
+		if wl, ok := s.eng.Workload(n); ok {
+			out = append(out, graphInfo(n, wl))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, MaxGraphBytes)
+	wl, err := pushpull.ReadWorkload(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing edge list: %w", err))
+		return
+	}
+	if err := s.eng.RegisterWorkload(name, wl); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, graphInfo(name, wl))
+}
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing run request: %w", err))
+		return
+	}
+	if req.Graph == "" || req.Algorithm == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`"graph" and "algorithm" are required`))
+		return
+	}
+	wl, ok := s.eng.Workload(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown graph %q (registered: %v)", req.Graph, s.eng.WorkloadNames()))
+		return
+	}
+	if _, err := pushpull.Lookup(req.Algorithm); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if req.Options.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.Options.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	rep, err := s.eng.Run(ctx, wl, req.Algorithm, opts...)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildResponse(req, rep))
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	es := s.eng.Stats()
+	writeJSON(w, http.StatusOK, EngineStats{
+		CacheHits:    es.CacheHits,
+		CacheMisses:  es.CacheMisses,
+		Uncacheable:  es.Uncacheable,
+		CacheEntries: es.CacheEntries,
+		QueuedRuns:   es.QueuedRuns,
+		QueueWaitNS:  int64(es.QueueWait),
+		Graphs:       len(s.eng.WorkloadNames()),
+	})
+}
+
+// ---- lowering helpers ----
+
+func graphInfo(name string, wl *pushpull.Workload) GraphInfo {
+	return GraphInfo{Name: name, N: wl.N(), M: wl.M(), Kind: wl.Kind(), ID: wl.ID()}
+}
+
+func (o *RunOptions) toOptions() ([]pushpull.Option, error) {
+	var opts []pushpull.Option
+	switch o.Direction {
+	case "", "auto":
+	case "push":
+		opts = append(opts, pushpull.WithDirection(pushpull.Push))
+	case "pull":
+		opts = append(opts, pushpull.WithDirection(pushpull.Pull))
+	default:
+		return nil, fmt.Errorf(`bad "direction" %q (push, pull, auto)`, o.Direction)
+	}
+	if o.Threads != 0 {
+		opts = append(opts, pushpull.WithThreads(o.Threads))
+	}
+	if o.Iterations != 0 {
+		opts = append(opts, pushpull.WithIterations(o.Iterations))
+	}
+	if o.MaxIters != 0 {
+		opts = append(opts, pushpull.WithMaxIters(o.MaxIters))
+	}
+	if o.Source != 0 {
+		opts = append(opts, pushpull.WithSource(pushpull.V(o.Source)))
+	}
+	if len(o.Sources) > 0 {
+		vs := make([]pushpull.V, len(o.Sources))
+		for i, v := range o.Sources {
+			vs[i] = pushpull.V(v)
+		}
+		opts = append(opts, pushpull.WithSources(vs))
+	}
+	if o.Delta != 0 {
+		opts = append(opts, pushpull.WithDelta(o.Delta))
+	}
+	if o.Damping != nil {
+		opts = append(opts, pushpull.WithDamping(*o.Damping))
+	}
+	if o.Partitions != 0 {
+		opts = append(opts, pushpull.WithPartitions(o.Partitions))
+	}
+	if o.PartitionAware {
+		opts = append(opts, pushpull.WithPartitionAwareness())
+	}
+	if o.Ranks != 0 {
+		opts = append(opts, pushpull.WithRanks(o.Ranks))
+	}
+	return opts, nil
+}
+
+func buildResponse(req RunRequest, rep *pushpull.Report) RunResponse {
+	resp := RunResponse{
+		Algorithm: rep.Algorithm,
+		Graph:     req.Graph,
+		Summary:   rep.Summary(),
+		Stats: RunStats{
+			Direction:   statsDirection(rep),
+			Iterations:  rep.Stats.Iterations,
+			ElapsedNS:   int64(rep.Stats.Elapsed),
+			QueueWaitNS: int64(rep.Stats.QueueWait),
+			CacheHit:    rep.Stats.CacheHit,
+			Canceled:    rep.Stats.Canceled,
+		},
+	}
+	for _, d := range rep.Directions {
+		resp.Directions = append(resp.Directions, d.String())
+	}
+	resp.Ranks = Floats(rep.Ranks())
+	resp.Counts = rep.Counts()
+	resp.Colors = rep.Colors()
+	if t := rep.Tree(); t != nil {
+		resp.Parents = make([]int64, len(t.Parent))
+		for i, p := range t.Parent {
+			resp.Parents[i] = int64(p)
+		}
+		resp.Levels = t.Level
+	}
+	return resp
+}
+
+// statsDirection names the run's direction in the trace's lowercase
+// vocabulary: "push"/"pull" for uniform runs, "mixed" when a switching
+// run flipped mid-way.
+func statsDirection(rep *pushpull.Report) string {
+	if len(rep.Directions) == 0 {
+		// No trace (e.g. dist-* simulations): fall back to the stats
+		// block's paper-style name, lowered to the API vocabulary.
+		switch rep.Stats.Direction.String() {
+		case "Pushing":
+			return "push"
+		case "Pulling":
+			return "pull"
+		}
+		return "auto"
+	}
+	first := rep.Directions[0]
+	for _, d := range rep.Directions[1:] {
+		if d != first {
+			return "mixed"
+		}
+	}
+	return first.String()
+}
+
+// statusFor maps engine errors onto HTTP statuses: precondition failures
+// are the client's (400), timeouts are gateway timeouts, the rest is a
+// server-side 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, pushpull.ErrNeedsWeights),
+		errors.Is(err, pushpull.ErrDirectedUnsupported),
+		errors.Is(err, pushpull.ErrProbesUnsupported),
+		errors.Is(err, pushpull.ErrPartitionAwareUnsupported),
+		errors.Is(err, pushpull.ErrBadSource),
+		errors.Is(err, pushpull.ErrBadOption):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Floats is a float vector that marshals non-finite entries (NaN, ±Inf —
+// e.g. the +Inf distances sssp assigns unreached vertices) as null,
+// which encoding/json rejects outright in a plain []float64.
+type Floats []float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Floats) MarshalJSON() ([]byte, error) {
+	if f == nil {
+		return []byte("null"), nil
+	}
+	out := make([]byte, 0, 8*len(f)+2)
+	out = append(out, '[')
+	for i, v := range f {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			out = append(out, "null"...)
+		} else {
+			out = strconv.AppendFloat(out, v, 'g', -1, 64)
+		}
+	}
+	return append(out, ']'), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	// Marshal before touching the response: an encoding failure after
+	// WriteHeader would send a truncated 200.
+	buf, err := json.Marshal(body)
+	if err != nil {
+		buf = []byte(fmt.Sprintf(`{"error": "encoding response: %s"}`, err))
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

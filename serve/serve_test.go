@@ -1,0 +1,255 @@
+package serve_test
+
+// HTTP serving-front tests over httptest: graph upload round-trips the
+// workload kind, runs return the uniform report as JSON, the second
+// identical request is a cache hit, and errors map onto the right
+// statuses (404 unknown graph/algorithm, 400 typed precondition
+// failures and bad payloads).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pushpull"
+	"pushpull/serve"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *pushpull.Engine) {
+	t.Helper()
+	eng := pushpull.NewEngine()
+	ts := httptest.NewServer(serve.New(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func smallGraph(t *testing.T) *pushpull.Graph {
+	t.Helper()
+	g, err := pushpull.ErdosRenyi(400, 8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func uploadGraph(t *testing.T, ts *httptest.Server, name string, w *pushpull.Workload) serve.GraphInfo {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pushpull.WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/graphs/"+name, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info serve.GraphInfo
+	doJSON(t, req, http.StatusCreated, &info)
+	return info
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string, wantStatus int) serve.RunResponse {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp serve.RunResponse
+	doJSON(t, req, wantStatus, &resp)
+	return resp
+}
+
+func doJSON(t *testing.T, req *http.Request, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d: %s", req.Method, req.URL.Path, resp.StatusCode, wantStatus, body)
+	}
+	if into != nil && wantStatus < 400 {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("parsing %q: %v", body, err)
+		}
+	}
+}
+
+// TestServeRunCacheHit is the end-to-end acceptance path: upload, run,
+// run again, observe the cache hit and the engine stats.
+func TestServeRunCacheHit(t *testing.T) {
+	ts, eng := newTestServer(t)
+	g := smallGraph(t)
+	info := uploadGraph(t, ts, "demo", pushpull.NewWorkload(g))
+	if info.N != g.N() || info.Kind != "undirected" || info.ID == "" {
+		t.Fatalf("upload response %+v does not describe the graph", info)
+	}
+
+	body := `{"graph": "demo", "algorithm": "pr", "options": {"direction": "pull", "iterations": 10}}`
+	first := postRun(t, ts, body, http.StatusOK)
+	if first.Stats.CacheHit {
+		t.Fatal("first run served from cache")
+	}
+	if len(first.Ranks) != g.N() || first.Stats.Iterations != 10 || first.Stats.Direction != "pull" {
+		t.Fatalf("run response malformed: %d ranks, stats %+v", len(first.Ranks), first.Stats)
+	}
+	if len(first.Directions) != 10 || first.Directions[0] != "pull" {
+		t.Fatalf("direction trace malformed: %v", first.Directions)
+	}
+
+	second := postRun(t, ts, body, http.StatusOK)
+	if !second.Stats.CacheHit {
+		t.Fatal("second identical request missed the cache")
+	}
+	if fmt.Sprint(second.Ranks) != fmt.Sprint(first.Ranks) {
+		t.Error("cached ranks differ from the original run")
+	}
+	if st := eng.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("engine stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// A different option set runs for real.
+	third := postRun(t, ts,
+		`{"graph": "demo", "algorithm": "pr", "options": {"direction": "push", "iterations": 10}}`,
+		http.StatusOK)
+	if third.Stats.CacheHit {
+		t.Error("push-direction request served the pull-direction cache entry")
+	}
+}
+
+// TestServeUploadDirectedWeighted: the edge-list header's kind flags
+// survive the HTTP round trip into the registered workload.
+func TestServeUploadDirectedWeighted(t *testing.T) {
+	ts, eng := newTestServer(t)
+	b := pushpull.NewBuilder(4).Directed()
+	b.AddEdgeW(0, 1, 2)
+	b.AddEdgeW(1, 2, 3)
+	b.AddEdgeW(2, 0, 4)
+	b.AddEdgeW(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := uploadGraph(t, ts, "dw", pushpull.Directed(g, pushpull.AsWeighted()))
+	if info.Kind != "directed weighted" {
+		t.Fatalf("kind %q survived upload, want \"directed weighted\"", info.Kind)
+	}
+	wl, ok := eng.Workload("dw")
+	if !ok || !wl.IsDirected() || !wl.HasWeights() {
+		t.Fatalf("registered workload lost its kind: %+v", wl)
+	}
+
+	var graphs []serve.GraphInfo
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/graphs", nil)
+	doJSON(t, req, http.StatusOK, &graphs)
+	if len(graphs) != 1 || graphs[0].Name != "dw" {
+		t.Fatalf("GET /graphs = %+v, want the one uploaded graph", graphs)
+	}
+}
+
+// TestServeAlgorithms: the registry endpoint lists every algorithm with
+// caps.
+func TestServeAlgorithms(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var algos []serve.AlgorithmInfo
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/algorithms", nil)
+	doJSON(t, req, http.StatusOK, &algos)
+	if len(algos) != len(pushpull.Algorithms()) {
+		t.Fatalf("%d algorithms served, registry has %d", len(algos), len(pushpull.Algorithms()))
+	}
+	for _, a := range algos {
+		if a.Name == "sssp" && !strings.Contains(a.Caps, "needs-weights") {
+			t.Errorf("sssp caps %q misses needs-weights", a.Caps)
+		}
+	}
+}
+
+// TestServeErrors: error statuses are faithful to the failure class.
+func TestServeErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadGraph(t, ts, "demo", pushpull.NewWorkload(smallGraph(t)))
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"unknown graph", `{"graph": "nope", "algorithm": "pr"}`, http.StatusNotFound},
+		{"unknown algorithm", `{"graph": "demo", "algorithm": "nope"}`, http.StatusNotFound},
+		{"missing fields", `{}`, http.StatusBadRequest},
+		{"unknown option field", `{"graph": "demo", "algorithm": "pr", "options": {"iterationz": 3}}`, http.StatusBadRequest},
+		{"bad direction", `{"graph": "demo", "algorithm": "pr", "options": {"direction": "sideways"}}`, http.StatusBadRequest},
+		{"needs weights", `{"graph": "demo", "algorithm": "sssp"}`, http.StatusBadRequest},
+		{"bad option value", `{"graph": "demo", "algorithm": "pr", "options": {"threads": -1}}`, http.StatusBadRequest},
+		{"bad source", `{"graph": "demo", "algorithm": "bfs", "options": {"source": 100000}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		postRun(t, ts, tc.body, tc.status)
+	}
+}
+
+// TestServeSSSPUnreachable: sssp distances include +Inf for unreached
+// vertices, which must encode as JSON null (regression: encoding/json
+// rejects non-finite floats outright, which used to truncate the
+// response body after a 200).
+func TestServeSSSPUnreachable(t *testing.T) {
+	ts, _ := newTestServer(t)
+	b := pushpull.NewBuilder(4)
+	b.AddEdgeW(0, 1, 2)
+	b.AddEdgeW(1, 2, 3)
+	// vertex 3 is isolated: dist = +Inf
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadGraph(t, ts, "tiny", pushpull.Weighted(g))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/run",
+		strings.NewReader(`{"graph": "tiny", "algorithm": "sssp", "options": {"source": 0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var parsed struct {
+		Ranks []*float64 `json:"ranks"`
+	}
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, body)
+	}
+	if len(parsed.Ranks) != 4 || parsed.Ranks[3] != nil {
+		t.Fatalf("ranks = %v, want 4 entries with null at the isolated vertex", parsed.Ranks)
+	}
+	if parsed.Ranks[2] == nil || *parsed.Ranks[2] != 5 {
+		t.Errorf("dist[2] = %v, want 5", parsed.Ranks[2])
+	}
+}
+
+// TestServeBFSPayload: traversal payloads are lowered to parents+levels.
+func TestServeBFSPayload(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := smallGraph(t)
+	uploadGraph(t, ts, "demo", pushpull.NewWorkload(g))
+	resp := postRun(t, ts, `{"graph": "demo", "algorithm": "bfs", "options": {"source": 1}}`, http.StatusOK)
+	if len(resp.Parents) != g.N() || len(resp.Levels) != g.N() {
+		t.Fatalf("bfs payload: %d parents, %d levels, want %d each", len(resp.Parents), len(resp.Levels), g.N())
+	}
+	if resp.Levels[1] != 0 {
+		t.Errorf("source level = %d, want 0", resp.Levels[1])
+	}
+}

@@ -15,8 +15,11 @@ package pushpull
 // subsequent Run, the engine-owned-view pattern of pull-frontier systems.
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"sync"
 
 	"pushpull/internal/graph"
@@ -53,6 +56,7 @@ type Workload struct {
 	stats     *GraphStats
 	pa        map[int]*PAGraph
 	builds    WorkloadBuilds
+	id        string
 }
 
 // WorkloadBuilds counts the derived-view constructions a Workload has
@@ -193,6 +197,58 @@ func (w *Workload) Stats() GraphStats {
 		w.builds.Stats++
 	}
 	return *w.stats
+}
+
+// ID returns the workload's stable content identity: a digest of the
+// adjacency structure, the edge weights, and the declared kind (directed,
+// weighted, default partitions). Two handles over equal content share the
+// ID — it is what an Engine's result cache keys on, so cached reports
+// survive re-wrapping or re-loading the same graph. The digest is an
+// O(n + m) pass computed once per handle and memoized.
+func (w *Workload) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.id == "" {
+		w.id = w.contentID()
+	}
+	return w.id
+}
+
+// contentID hashes the CSR arrays and the kind flags (FNV-1a, 64-bit).
+func (w *Workload) contentID() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	g := w.g
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for _, o := range g.Offsets {
+		put(uint64(o))
+	}
+	for _, v := range g.Adj {
+		put(uint64(v))
+	}
+	for _, wt := range g.Weights {
+		put(uint64(math.Float32bits(wt)))
+	}
+	// The declared kind changes what a run computes (directed dispatch,
+	// the partition default), so it is part of the identity.
+	var kind uint64
+	if w.directed {
+		kind |= 1
+	}
+	if w.weightsDeclared {
+		kind |= 2
+	}
+	if g.Weighted() {
+		kind |= 4
+	}
+	kind |= uint64(w.defaultParts) << 3
+	put(kind)
+	return fmt.Sprintf("w%016x-n%d", h.Sum64(), g.N())
 }
 
 // Builds reports how many derived-view constructions this workload has

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"testing"
 
 	"pushpull"
@@ -285,4 +286,62 @@ func TestWorkloadRoundTrip(t *testing.T) {
 	if d := pushpull.MaxDiff(want.Ranks(), have.Ranks()); d > 1e-12 {
 		t.Errorf("ranks diverge by %g after round trip", d)
 	}
+}
+
+// TestConcurrentRunSharedWorkload hammers one shared handle from many
+// goroutines (run under -race in CI): every derived view — the directed
+// transpose, the PA split, the stats — is still built exactly once, and
+// every concurrent directed-pull run computes the same ranks.
+func TestConcurrentRunSharedWorkload(t *testing.T) {
+	g := directedGraph(t, 400, false)
+	w := pushpull.Directed(g)
+	want := run(t, pushpull.Directed(g), "pr", pushpull.WithIterations(8))
+
+	const N = 8
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Pull forces the memoized transpose; Stats touches the Table 2
+			// computation; both race against the N-1 sibling goroutines.
+			rep, err := pushpull.Run(context.Background(), w, "pr",
+				pushpull.WithDirection(pushpull.Pull), pushpull.WithIterations(8))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if d := pushpull.MaxDiff(rep.Ranks(), want.Ranks()); d > 1e-9 {
+				t.Errorf("concurrent run diverges by %g", d)
+			}
+			_ = w.Stats()
+			_ = w.ID()
+		}()
+	}
+	wg.Wait()
+	if b := w.Builds(); b.Transposes != 1 || b.Stats != 1 {
+		t.Errorf("Builds() = %+v after %d concurrent runs, want one transpose and one stats build", b, N)
+	}
+
+	// The same property under an Engine with caching: concurrent identical
+	// runs may race to fill the cache, but the handle still builds each
+	// view once and every report agrees.
+	eng := pushpull.NewEngine()
+	w2 := pushpull.Partitioned(undirectedGraph(t, 400, 5), 4)
+	var wg2 sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			rep, err := eng.Run(context.Background(), w2, "gc")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := pushpull.ValidateColoring(w2.Graph(), rep.Colors()); err != nil {
+				t.Errorf("concurrent cached gc: %v", err)
+			}
+		}()
+	}
+	wg2.Wait()
 }
