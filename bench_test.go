@@ -126,3 +126,32 @@ func BenchmarkEngineRunUncached(b *testing.B) {
 func BenchmarkEngineRunCached(b *testing.B) {
 	benchEngineRun(b, pushpull.NewEngine())
 }
+
+// BenchmarkEngineCoalesced measures single-flight deduplication with the
+// result cache disabled: parallel goroutines issue the same request, so
+// at any moment one of them leads a real run and the rest coalesce onto
+// it — the throughput gap vs BenchmarkEngineRunUncached is what dedup
+// buys a serving layer under a flood of identical requests.
+func BenchmarkEngineCoalesced(b *testing.B) {
+	eng := pushpull.NewEngine(pushpull.WithResultCache(0))
+	g, err := pushpull.RMAT(pushpull.DefaultRMAT(13, 8, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := pushpull.NewWorkload(g)
+	ctx := context.Background()
+	opts := []pushpull.Option{pushpull.WithDirection(pushpull.Pull), pushpull.WithIterations(20)}
+	if _, err := eng.Run(ctx, w, "pr", opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Run(ctx, w, "pr", opts...); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(eng.Stats().Coalesced)/float64(b.N), "coalesced/op")
+}

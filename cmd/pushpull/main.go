@@ -16,6 +16,7 @@
 //	pushpull run pr -probes            # instrumented run + counter bill
 //	pushpull run dist-pr-mp -ranks 32  # §6.3 simulated cluster
 //	pushpull serve -addr :8080 -graphs rmat,rca
+//	pushpull serve -shards 4 -cache-ttl 5m -store /var/lib/pushpull
 //	pushpull table3                    # PR and TC push-vs-pull times
 //	pushpull all                       # every experiment, paper order
 //
@@ -257,25 +258,68 @@ func runAlgorithm(args []string, threads int, scale float64, seed uint64) {
 }
 
 // serveEngine starts the HTTP serving front: one long-lived Engine with
-// a bounded worker pool and LRU result cache, exposed via pushpull/serve.
+// sharded bounded worker pools, single-flight dedup, a TTL-capable LRU
+// result cache and an optional persistent graph store, exposed via
+// pushpull/serve.
 func serveEngine(args []string, scale float64, seed uint64) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker-pool size per shard (0 = GOMAXPROCS)")
 	cache := fs.Int("cache", pushpull.DefaultCacheCapacity, "result-cache capacity in entries (0 disables)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "result-cache entry lifetime, e.g. 30s, 5m (0 = no expiry)")
+	shards := fs.Int("shards", 1, "shard executors: graphs are partitioned across independent admission queues")
+	store := fs.String("store", "", "persist uploaded graphs to this directory (restored on restart)")
 	graphs := fs.String("graphs", "", "comma-separated suite graph ids to preload (e.g. rmat,rca; weights attached)")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-graphs ids]\n")
+		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-store dir] [-graphs ids]\n")
 		os.Exit(2)
 	}
+	// Negative values would otherwise silently mean "unbounded" or
+	// "disabled"; a sign error deserves a verdict, not a surprise.
+	badFlag := func(name, hint string) {
+		fmt.Fprintf(os.Stderr, "pushpull: serve: -%s must not be negative (%s)\n", name, hint)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		badFlag("workers", "0 means GOMAXPROCS workers per shard")
+	}
+	if *cache < 0 {
+		badFlag("cache", "0 disables the result cache")
+	}
+	if *cacheTTL < 0 {
+		badFlag("cache-ttl", "0 means cached results never expire")
+	}
+	if *shards < 0 {
+		badFlag("shards", "1 means a single executor")
+	}
 
-	var engOpts []pushpull.EngineOption
+	engOpts := []pushpull.EngineOption{pushpull.WithResultCache(*cache)}
 	if *workers > 0 {
 		engOpts = append(engOpts, pushpull.WithWorkers(*workers))
 	}
-	engOpts = append(engOpts, pushpull.WithResultCache(*cache))
+	if *cacheTTL > 0 {
+		engOpts = append(engOpts, pushpull.WithCacheTTL(*cacheTTL))
+	}
+	if *shards > 1 {
+		engOpts = append(engOpts, pushpull.WithShards(*shards))
+	}
 	eng := pushpull.NewEngine(engOpts...)
+
+	if *store != "" {
+		ds, err := pushpull.NewDiskStore(*store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: serve: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		if err := eng.AttachStore(ds); err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: serve: restoring store: %v\n", err)
+			os.Exit(1)
+		}
+		if restored := eng.WorkloadNames(); len(restored) > 0 {
+			fmt.Printf("restored %d graph(s) from %s: %s\n", len(restored), *store, strings.Join(restored, ", "))
+		}
+	}
 
 	if *graphs != "" {
 		for _, id := range strings.Split(*graphs, ",") {
@@ -315,8 +359,12 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0) // the NewEngine default pool bound
 	}
-	fmt.Printf("serving %d algorithms on http://%s (workers=%d cache=%d)\n",
-		len(pushpull.Algorithms()), *addr, effWorkers, *cache)
+	effShards := *shards
+	if effShards < 1 {
+		effShards = 1
+	}
+	fmt.Printf("serving %d algorithms on http://%s (shards=%d workers/shard=%d cache=%d ttl=%v store=%q)\n",
+		len(pushpull.Algorithms()), *addr, effShards, effWorkers, *cache, *cacheTTL, *store)
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "pushpull: serve: %v\n", err)

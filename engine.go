@@ -3,24 +3,36 @@ package pushpull
 // The Engine: the long-lived serving object behind Run. A one-shot call
 // pays the full price of its kernels every time; a production service
 // amortizes — the paper's direction-derived state (in-CSR, PA splits) is
-// already memoized per Workload handle, and the Engine adds the two
+// already memoized per Workload handle, and the Engine adds the
 // request-level layers on top:
 //
-//   - a bounded worker pool with an admission queue, so a traffic burst
-//     degrades into queue wait (reported per run as Stats.QueueWait)
-//     instead of oversubscribing the kernels' own thread pools, and
+//   - shard executors (WithShards): registered workloads are partitioned
+//     across shards by content identity — partition-aware runs by the
+//     identity of their PA split — and each shard owns its own bounded
+//     admission queue, so a burst against one hot graph queues on that
+//     graph's shard instead of head-of-line-blocking every other graph,
+//   - single-flight deduplication: concurrent identical requests coalesce
+//     onto the one run already executing (followers report
+//     Stats.Coalesced and run nothing), and
 //   - an LRU result cache keyed on (stable Workload content identity,
-//     algorithm name, canonical options fingerprint), so an identical
-//     request is answered without running anything (Stats.CacheHit).
+//     algorithm name, canonical options fingerprint), with optional
+//     per-entry TTL (WithCacheTTL) and explicit invalidation wired to
+//     graph mutation: re-registering a name with different content drops
+//     the replaced graph's cached results.
+//
+// A GraphStore attached with AttachStore makes the name→Workload registry
+// durable: registrations write through, deletions propagate, and a fresh
+// Engine attaching the same store restores every persisted graph.
 //
 // pushpull.Run is a thin call on a lazily-initialized default Engine, so
 // every pre-Engine call site keeps compiling and behaving identically:
-// the default Engine is unbounded and uncached, preserving the facade's
-// one-shot timing semantics (benchmarks and the paper harness must
-// measure real kernel runs, never cache hits). Serving layers construct
-// their own Engine and opt in:
+// the default Engine is unbounded, uncached, un-sharded and never
+// coalesces, preserving the facade's one-shot timing semantics
+// (benchmarks and the paper harness must measure real kernel runs, never
+// cache hits or coalesced copies). Serving layers construct their own
+// Engine and opt in:
 //
-//	eng := pushpull.NewEngine() // GOMAXPROCS workers, 128-entry cache
+//	eng := pushpull.NewEngine(pushpull.WithShards(4))
 //	rep1, _ := eng.Run(ctx, w, "pr", pushpull.WithIterations(20))
 //	rep2, _ := eng.Run(ctx, w, "pr", pushpull.WithIterations(20))
 //	// rep2.Stats.CacheHit == true; no kernel ran.
@@ -31,6 +43,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,37 +53,53 @@ import (
 // when WithResultCache does not override it.
 const DefaultCacheCapacity = 128
 
-// Engine is a long-lived run scheduler: a bounded worker pool, an LRU
-// result cache, and a name→Workload registry for serving fronts. An
-// Engine is safe for concurrent use; the zero value is not valid — use
-// NewEngine (or the package-level Run, which uses the default Engine).
+// Engine is a long-lived run scheduler: sharded bounded worker pools,
+// single-flight deduplication, an LRU result cache, and a (optionally
+// persistent) name→Workload registry for serving fronts. An Engine is
+// safe for concurrent use; the zero value is not valid — use NewEngine
+// (or the package-level Run, which uses the default Engine).
 type Engine struct {
-	// sem is the worker-pool semaphore; nil means unbounded admission.
-	sem chan struct{}
+	// shards are the executors; placement is by workload content identity
+	// (see shardFor). Always at least one.
+	shards []*shard
+
+	// singleFlight enables coalescing of concurrent identical requests.
+	singleFlight bool
+	sfMu         sync.Mutex
+	inflight     map[string]*flight
 
 	cacheMu sync.Mutex
 	cache   *resultCache // nil when caching is disabled
 
+	// mutMu serializes registry *mutations* end to end (map write +
+	// store write-through), so concurrent PUT/DELETE on one name cannot
+	// leave the store disagreeing with the registry. wlMu alone guards
+	// the map, keeping lookups on the run path free of store I/O stalls.
+	mutMu     sync.Mutex
 	wlMu      sync.RWMutex
 	workloads map[string]*Workload
+	store     GraphStore // nil until AttachStore
 
 	hits, misses, uncacheable atomic.Uint64
-	queuedRuns                atomic.Uint64
-	queueWaitNS               atomic.Int64
+	coalesced, expired        atomic.Uint64
 }
 
 // EngineOption configures NewEngine.
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	workers  int
-	cacheCap int
+	workers      int
+	cacheCap     int
+	cacheTTL     time.Duration
+	shards       int
+	singleFlight bool
 }
 
-// WithWorkers bounds the Engine's worker pool to n concurrent runs;
-// excess runs wait in the admission queue (their wait is reported as
-// Stats.QueueWait). n ≤ 0 removes the bound. NewEngine's default is
-// GOMAXPROCS — one kernel's thread pool per hardware context.
+// WithWorkers bounds each shard's worker pool to n concurrent runs;
+// excess runs wait in that shard's admission queue (their wait is
+// reported as Stats.QueueWait). With S shards the engine-wide bound is
+// S×n. n ≤ 0 removes the bound. NewEngine's default is GOMAXPROCS — one
+// kernel's thread pool per hardware context.
 func WithWorkers(n int) EngineOption {
 	return func(c *engineConfig) { c.workers = n }
 }
@@ -82,19 +111,53 @@ func WithResultCache(capacity int) EngineOption {
 	return func(c *engineConfig) { c.cacheCap = capacity }
 }
 
-// NewEngine builds an Engine with a GOMAXPROCS-bounded worker pool and a
-// DefaultCacheCapacity-entry result cache, then applies opts.
+// WithCacheTTL bounds the lifetime of each cached result: an entry older
+// than ttl is evicted on lookup and the request runs for real. ttl ≤ 0
+// (the default) means entries never expire — only LRU pressure and
+// explicit invalidation evict them.
+func WithCacheTTL(ttl time.Duration) EngineOption {
+	return func(c *engineConfig) { c.cacheTTL = ttl }
+}
+
+// WithShards partitions the Engine into n shard executors, each with its
+// own admission queue (bounded per WithWorkers). Registered workloads are
+// placed by content identity, partition-aware runs by the identity of
+// their PA split, so one hot graph cannot head-of-line-block the rest.
+// n ≤ 1 keeps the single-executor layout.
+func WithShards(n int) EngineOption {
+	return func(c *engineConfig) { c.shards = n }
+}
+
+// WithSingleFlight toggles coalescing of concurrent identical requests
+// (same workload content, algorithm, and cacheable options fingerprint)
+// onto one underlying run. NewEngine enables it; the default Engine
+// behind the package-level Run disables it so one-shot calls always
+// execute for real.
+func WithSingleFlight(enabled bool) EngineOption {
+	return func(c *engineConfig) { c.singleFlight = enabled }
+}
+
+// NewEngine builds an Engine with one shard, a GOMAXPROCS-bounded worker
+// pool, a DefaultCacheCapacity-entry result cache and single-flight
+// deduplication enabled, then applies opts.
 func NewEngine(opts ...EngineOption) *Engine {
-	cfg := engineConfig{workers: runtime.GOMAXPROCS(0), cacheCap: DefaultCacheCapacity}
+	cfg := engineConfig{
+		workers:      runtime.GOMAXPROCS(0),
+		cacheCap:     DefaultCacheCapacity,
+		shards:       1,
+		singleFlight: true,
+	}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	e := &Engine{workloads: map[string]*Workload{}}
-	if cfg.workers > 0 {
-		e.sem = make(chan struct{}, cfg.workers)
+	e := &Engine{
+		shards:       newShards(cfg.shards, cfg.workers),
+		singleFlight: cfg.singleFlight,
+		inflight:     map[string]*flight{},
+		workloads:    map[string]*Workload{},
 	}
 	if cfg.cacheCap > 0 {
-		e.cache = newResultCache(cfg.cacheCap)
+		e.cache = newResultCache(cfg.cacheCap, cfg.cacheTTL)
 	}
 	return e
 }
@@ -105,34 +168,41 @@ var (
 )
 
 // DefaultEngine returns the process-wide Engine behind the package-level
-// Run, initializing it on first use. It is deliberately unbounded and
-// uncached — the facade's one-shot semantics (every Run measures a real
-// kernel execution) predate the Engine and must survive it; a serving
-// layer wanting admission control and result caching builds its own
-// Engine with NewEngine.
+// Run, initializing it on first use. It is deliberately unbounded,
+// uncached, un-sharded and non-coalescing — the facade's one-shot
+// semantics (every Run measures a real kernel execution) predate the
+// Engine and must survive it; a serving layer wanting admission control,
+// result caching or deduplication builds its own Engine with NewEngine.
 func DefaultEngine() *Engine {
 	defaultEngineOnce.Do(func() {
-		defaultEngine = NewEngine(WithWorkers(0), WithResultCache(0))
+		defaultEngine = NewEngine(WithWorkers(0), WithResultCache(0), WithSingleFlight(false))
 	})
 	return defaultEngine
 }
 
 // Run executes the named algorithm on a Runnable exactly like the
-// package-level Run, routed through this Engine's admission queue and
-// result cache.
+// package-level Run, routed through this Engine's result cache,
+// single-flight deduplication and shard admission queues.
 //
 // A run is served from cache when all of the following hold: the Engine
 // caches (WithResultCache > 0), the caller passed a *Workload handle (a
 // bare *Graph is single-use, so hashing it every call would be pure
 // overhead), the options fingerprint as cacheable (no WithIterationHook,
-// WithProbes, WithPartitionAwareGraph, or custom switch policy), and an
-// identical (workload content, algorithm, options) run completed before.
-// Cache hits bypass the worker pool and return a shallow copy of the
-// cached Report with Stats.CacheHit set. On a caching Engine the payload
-// slices of a cacheable run are shared between the run that computed
-// them and every later hit, so ALL callers — the first (miss) included —
-// must treat them as read-only. Canceled (partial) runs and failed runs
-// are never cached.
+// WithProbes, WithPartitionAwareGraph, or custom switch policy), an
+// identical (workload content, algorithm, options) run completed before,
+// and — when WithCacheTTL is set — that run is younger than the TTL.
+// Cache hits bypass the worker pools and return a shallow copy of the
+// cached Report with Stats.CacheHit set.
+//
+// When the same key is already executing on a single-flight Engine, the
+// call coalesces: it waits for that run and returns a shallow copy of its
+// Report with Stats.Coalesced set, consuming no worker slot. Failed and
+// canceled leading runs are never shared — followers rerun for real.
+//
+// On a caching or coalescing Engine the payload slices of a cacheable
+// run are shared between the run that computed them and every hit or
+// follower, so ALL callers — the first (miss) included — must treat them
+// as read-only. Canceled (partial) runs and failed runs are never cached.
 func (e *Engine) Run(ctx context.Context, on Runnable, algorithm string, opts ...Option) (*Report, error) {
 	w, err := resolveWorkload(on)
 	if err != nil {
@@ -156,32 +226,61 @@ func (e *Engine) Run(ctx context.Context, on Runnable, algorithm string, opts ..
 		return nil, err
 	}
 
+	// The run key doubles as the cache key and the single-flight key;
+	// only *Workload handles with a cacheable fingerprint get one.
 	_, isHandle := on.(*Workload)
 	key := ""
-	if e.cache != nil && isHandle {
+	if isHandle && (e.cache != nil || e.singleFlight) {
 		if fp, ok := cfg.fingerprint(); ok {
 			key = w.ID() + "|" + a.Name() + "|" + fp
 		}
 	}
-	if key == "" {
+	// Every request lands in exactly one of the outcome counters: hit,
+	// coalesced, miss (a cacheable run that executes), or uncacheable.
+	cacheable := key != "" && e.cache != nil
+	if !cacheable {
 		e.uncacheable.Add(1)
-	} else if rep, ok := e.cacheGet(key); ok {
+	} else if rep, ok, expired := e.cacheGet(key); ok {
 		e.hits.Add(1)
 		return cachedCopy(rep), nil
-	} else {
-		e.misses.Add(1)
+	} else if expired {
+		e.expired.Add(1)
 	}
 
-	wait, err := e.admit(ctx)
+	if key != "" && e.singleFlight {
+		rep, err, f := e.coalesce(ctx, key)
+		if f == nil {
+			return rep, err // follower (Coalesced) or a late cache hit
+		}
+		// This call leads the flight: run, publish, wake the followers.
+		if cacheable {
+			e.misses.Add(1)
+		}
+		rep, err = e.runAdmitted(ctx, a, w, cfg, key)
+		e.resolve(key, f, rep, err)
+		return rep, err
+	}
+	if cacheable {
+		e.misses.Add(1)
+	}
+	return e.runAdmitted(ctx, a, w, cfg, key)
+}
+
+// runAdmitted is the execution tail behind cache and single-flight: admit
+// on the owning shard, execute, and cache a completed cacheable result.
+func (e *Engine) runAdmitted(ctx context.Context, a Algorithm, w *Workload, cfg *Config, key string) (*Report, error) {
+	sh := e.shardFor(w, cfg)
+	wait, err := sh.admit(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer e.release()
+	defer sh.release()
+	sh.runs.Add(1)
 
 	rep, err := execute(ctx, a, w, cfg)
 	if rep != nil {
 		rep.Stats.QueueWait = wait
-		if key != "" && err == nil && !rep.Stats.Canceled {
+		if key != "" && e.cache != nil && err == nil && !rep.Stats.Canceled {
 			// Store a snapshot of the struct so the miss-path caller
 			// editing its Report fields cannot poison later hits. The
 			// payload slices stay shared (deep-copying every result
@@ -211,36 +310,6 @@ func execute(ctx context.Context, a Algorithm, w *Workload, cfg *Config) (*Repor
 	return rep, err
 }
 
-// admit blocks until a worker slot frees up (or ctx fires while
-// queueing), returning how long the run waited.
-func (e *Engine) admit(ctx context.Context) (time.Duration, error) {
-	if e.sem == nil {
-		return 0, nil
-	}
-	select {
-	case e.sem <- struct{}{}:
-		return 0, nil
-	default:
-	}
-	e.queuedRuns.Add(1)
-	start := time.Now()
-	select {
-	case e.sem <- struct{}{}:
-		wait := time.Since(start)
-		e.queueWaitNS.Add(int64(wait))
-		return wait, nil
-	case <-ctx.Done():
-		e.queueWaitNS.Add(int64(time.Since(start)))
-		return 0, fmt.Errorf("pushpull: canceled in admission queue: %w", ctx.Err())
-	}
-}
-
-func (e *Engine) release() {
-	if e.sem != nil {
-		<-e.sem
-	}
-}
-
 // cachedCopy returns the per-request view of a cached report: a shallow
 // copy flagged CacheHit, sharing the (read-only) payload of the original
 // run while keeping that run's timings visible.
@@ -251,7 +320,7 @@ func cachedCopy(rep *Report) *Report {
 	return &cp
 }
 
-func (e *Engine) cacheGet(key string) (*Report, bool) {
+func (e *Engine) cacheGet(key string) (rep *Report, ok, expired bool) {
 	e.cacheMu.Lock()
 	defer e.cacheMu.Unlock()
 	return e.cache.get(key)
@@ -263,31 +332,91 @@ func (e *Engine) cachePut(key string, rep *Report) {
 	e.cache.put(key, rep)
 }
 
+// Invalidate drops every cached result computed on w's content, returning
+// how many entries were removed. RegisterWorkload calls it automatically
+// when a name is overwritten with different content; callers that mutate
+// graph data in place behind a handle (unsupported but possible) or
+// manage bindings outside the registry invalidate explicitly.
+func (e *Engine) Invalidate(w *Workload) int {
+	if w == nil || e.cache == nil {
+		return 0
+	}
+	return e.invalidateID(w.ID())
+}
+
+// invalidateID removes all cache entries keyed under a content identity.
+func (e *Engine) invalidateID(id string) int {
+	if e.cache == nil {
+		return 0
+	}
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.cache.invalidate(id + "|")
+}
+
+// ShardStats is the per-shard slice of EngineStats.
+type ShardStats struct {
+	// Shard is the executor's index (placement is stable for a given
+	// workload content and shard count).
+	Shard int
+	// Runs counts runs executed on this shard (cache hits and coalesced
+	// followers never reach a shard).
+	Runs uint64
+	// QueuedRuns counts runs that waited in this shard's admission
+	// queue; QueueWait is their cumulative wait.
+	QueuedRuns uint64
+	QueueWait  time.Duration
+}
+
 // EngineStats is a point-in-time snapshot of an Engine's serving
 // telemetry.
 type EngineStats struct {
-	// CacheHits / CacheMisses count cacheable runs by outcome.
+	// CacheHits / CacheMisses count cacheable runs by outcome: a miss is
+	// a cacheable run that actually executed. Together with Uncacheable
+	// and Coalesced they partition all requests — a coalesced follower
+	// counts only as Coalesced, never as a miss.
 	CacheHits, CacheMisses uint64
 	// Uncacheable counts runs that bypassed the cache (bare *Graph,
 	// hooks, probes, caller-supplied PA layouts, custom policies, or a
 	// cache-disabled Engine).
 	Uncacheable uint64
+	// Coalesced counts requests served by single-flight deduplication:
+	// they joined an identical in-progress run instead of executing.
+	Coalesced uint64
+	// Expired counts cache lookups that found only a TTL-expired entry
+	// (also counted in CacheMisses).
+	Expired uint64
 	// CacheEntries is the current number of cached reports.
 	CacheEntries int
-	// QueuedRuns counts runs that waited in the admission queue;
-	// QueueWait is their cumulative wait.
+	// QueuedRuns counts runs that waited in any admission queue;
+	// QueueWait is their cumulative wait. Both aggregate Shards.
 	QueuedRuns uint64
 	QueueWait  time.Duration
+	// Shards breaks the execution telemetry down per shard executor.
+	Shards []ShardStats
 }
 
-// Stats snapshots the Engine's cache and queue telemetry.
+// Stats snapshots the Engine's cache, dedup and per-shard queue
+// telemetry.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
 		CacheHits:   e.hits.Load(),
 		CacheMisses: e.misses.Load(),
 		Uncacheable: e.uncacheable.Load(),
-		QueuedRuns:  e.queuedRuns.Load(),
-		QueueWait:   time.Duration(e.queueWaitNS.Load()),
+		Coalesced:   e.coalesced.Load(),
+		Expired:     e.expired.Load(),
+		Shards:      make([]ShardStats, len(e.shards)),
+	}
+	for i, sh := range e.shards {
+		ss := ShardStats{
+			Shard:      i,
+			Runs:       sh.runs.Load(),
+			QueuedRuns: sh.queuedRuns.Load(),
+			QueueWait:  time.Duration(sh.queueWaitNS.Load()),
+		}
+		s.Shards[i] = ss
+		s.QueuedRuns += ss.QueuedRuns
+		s.QueueWait += ss.QueueWait
 	}
 	if e.cache != nil {
 		e.cacheMu.Lock()
@@ -301,9 +430,13 @@ func (e *Engine) Stats() EngineStats {
 
 // RegisterWorkload binds name to a Workload handle on this Engine,
 // replacing any previous binding (PUT semantics — re-uploading a graph
-// under the same name is how a serving front refreshes it; the result
-// cache keys on content identity, so stale entries cannot be served for
-// the new graph).
+// under the same name is how a serving front refreshes it). Overwriting a
+// name with different content invalidates the replaced graph's cached
+// results: the result cache keys on content identity, so those entries
+// could never hit again and would otherwise squat in the LRU until
+// evicted. With a store attached the binding is persisted write-through;
+// a persistence failure is reported wrapped in ErrStore (the in-memory
+// registration stands).
 func (e *Engine) RegisterWorkload(name string, w *Workload) error {
 	if name == "" {
 		return fmt.Errorf("pushpull: RegisterWorkload with empty name")
@@ -311,9 +444,81 @@ func (e *Engine) RegisterWorkload(name string, w *Workload) error {
 	if w == nil || w.g == nil {
 		return fmt.Errorf("pushpull: RegisterWorkload(%q) with nil workload", name)
 	}
+	id := w.ID() // outside the locks: first computation is O(n + m)
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
 	e.wlMu.Lock()
-	defer e.wlMu.Unlock()
+	old := e.workloads[name]
 	e.workloads[name] = w
+	st := e.store
+	e.wlMu.Unlock()
+	if old != nil && old.ID() != id {
+		e.invalidateID(old.ID())
+	}
+	if st != nil {
+		if err := st.Put(name, w); err != nil {
+			return fmt.Errorf("%w: put %q: %v", ErrStore, name, err)
+		}
+	}
+	return nil
+}
+
+// DropWorkload removes the binding for name, invalidates the graph's
+// cached results, and deletes it from the attached store (if any). It
+// reports whether the name was bound; a store failure is returned wrapped
+// in ErrStore (the in-memory removal stands).
+func (e *Engine) DropWorkload(name string) (bool, error) {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	e.wlMu.Lock()
+	w, ok := e.workloads[name]
+	delete(e.workloads, name)
+	st := e.store
+	e.wlMu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	e.invalidateID(w.ID())
+	if st != nil {
+		if err := st.Delete(name); err != nil {
+			return true, fmt.Errorf("%w: delete %q: %v", ErrStore, name, err)
+		}
+	}
+	return true, nil
+}
+
+// AttachStore wires a GraphStore behind the workload registry: every
+// graph the store holds is restored into the registry now, and every
+// later RegisterWorkload/DropWorkload writes through. Restored bindings
+// overwrite same-named in-memory ones (the store is the durable truth),
+// and restore fidelity is the store's — DiskStore round-trips everything
+// but the machine-local kind (see its doc). Attach before serving
+// traffic; attaching a second store replaces the first without migrating
+// its contents.
+func (e *Engine) AttachStore(s GraphStore) error {
+	if s == nil {
+		return fmt.Errorf("pushpull: AttachStore(nil)")
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	names, err := s.Names()
+	if err != nil {
+		return fmt.Errorf("%w: listing: %v", ErrStore, err)
+	}
+	restored := make(map[string]*Workload, len(names))
+	for _, name := range names {
+		w, err := s.Get(name)
+		if err != nil {
+			return fmt.Errorf("%w: restore %q: %v", ErrStore, name, err)
+		}
+		restored[name] = w
+	}
+	e.wlMu.Lock()
+	for name, w := range restored {
+		e.workloads[name] = w
+	}
+	e.store = s
+	e.wlMu.Unlock()
 	return nil
 }
 
@@ -339,42 +544,70 @@ func (e *Engine) WorkloadNames() []string {
 
 // ---- LRU result cache ----
 
-// resultCache is a plain LRU over completed Reports; the Engine guards
-// it with cacheMu (hits mutate recency, so even reads write).
+// resultCache is a plain LRU over completed Reports with an optional
+// per-entry TTL; the Engine guards it with cacheMu (hits mutate recency,
+// so even reads write).
 type resultCache struct {
 	capacity int
-	ll       *list.List // front = most recently used
+	ttl      time.Duration // ≤ 0: entries never expire
+	ll       *list.List    // front = most recently used
 	entries  map[string]*list.Element
 }
 
 type cacheEntry struct {
-	key string
-	rep *Report
+	key    string
+	rep    *Report
+	stored time.Time
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{capacity: capacity, ll: list.New(), entries: map[string]*list.Element{}}
+func newResultCache(capacity int, ttl time.Duration) *resultCache {
+	return &resultCache{capacity: capacity, ttl: ttl, ll: list.New(), entries: map[string]*list.Element{}}
 }
 
-func (c *resultCache) get(key string) (*Report, bool) {
-	el, ok := c.entries[key]
-	if !ok {
-		return nil, false
+func (c *resultCache) get(key string) (rep *Report, ok, expired bool) {
+	el, hit := c.entries[key]
+	if !hit {
+		return nil, false, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && time.Since(ent.stored) > c.ttl {
+		c.remove(el)
+		return nil, false, true
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).rep, true
+	return ent.rep, true, false
 }
 
 func (c *resultCache) put(key string, rep *Report) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).rep = rep
+		ent := el.Value.(*cacheEntry)
+		ent.rep, ent.stored = rep, time.Now()
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep, stored: time.Now()})
 	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.remove(c.ll.Back())
 	}
+}
+
+// invalidate removes every entry whose key starts with prefix (the
+// "<workload id>|" form groups all results of one graph), returning the
+// number removed.
+func (c *resultCache) invalidate(prefix string) int {
+	removed := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if strings.HasPrefix(el.Value.(*cacheEntry).key, prefix) {
+			c.remove(el)
+			removed++
+		}
+	}
+	return removed
+}
+
+func (c *resultCache) remove(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).key)
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -67,6 +68,42 @@ func registerSlow(t *testing.T) {
 	t.Helper()
 	registerSlowOnce.Do(func() {
 		pushpull.MustRegister(slowAlgo{})
+	})
+}
+
+// gateRuns counts real gateAlgo kernel executions across the test binary;
+// tests snapshot it before and after to count executions they caused.
+var gateRuns atomic.Int64
+
+// gateAlgo is the single-flight observable: every real execution bumps
+// gateRuns and builds the workload's Stats (so Workload.Builds() provides
+// a second, independent execution count), then holds its worker slot for
+// ~100ms so concurrently issued identical requests must overlap it.
+type gateAlgo struct{}
+
+func (gateAlgo) Name() string { return "test-gate" }
+func (gateAlgo) Describe() string {
+	return "test-only: counts executions and dawdles to invite coalescing"
+}
+func (gateAlgo) Caps() pushpull.Caps { return pushpull.Caps{} }
+func (gateAlgo) Run(ctx context.Context, w *pushpull.Workload, cfg *pushpull.Config) (*pushpull.Report, error) {
+	gateRuns.Add(1)
+	w.Stats()
+	stats := pushpull.RunStats{Iterations: 1}
+	select {
+	case <-time.After(100 * time.Millisecond):
+	case <-ctx.Done():
+		stats.Canceled = true
+	}
+	return &pushpull.Report{Result: []float64{1}, Stats: stats}, nil
+}
+
+var registerGateOnce sync.Once
+
+func registerGate(t *testing.T) {
+	t.Helper()
+	registerGateOnce.Do(func() {
+		pushpull.MustRegister(gateAlgo{})
 	})
 }
 
@@ -380,6 +417,379 @@ func TestEngineWorkloadRegistry(t *testing.T) {
 	names := eng.WorkloadNames()
 	if len(names) != 2 || names[0] != "g" || names[1] != "h" {
 		t.Errorf("WorkloadNames() = %v, want [g h]", names)
+	}
+}
+
+// TestEngineSingleFlight is the dedup acceptance check: N concurrent
+// identical requests produce exactly one underlying kernel execution —
+// proven by the run counter AND by Workload.Builds() — with every
+// follower served a report flagged Coalesced (or CacheHit, for a
+// follower scheduled only after the leader finished).
+func TestEngineSingleFlight(t *testing.T) {
+	registerGate(t)
+	eng := pushpull.NewEngine()
+	w := pushpull.NewWorkload(undirectedGraph(t, 400, 77))
+
+	const n = 8
+	before := gateRuns.Load()
+	reports := make([]*pushpull.Report, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := eng.Run(context.Background(), w, "test-gate")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = rep
+		}(i)
+	}
+	wg.Wait()
+
+	if execs := gateRuns.Load() - before; execs != 1 {
+		t.Errorf("%d concurrent identical requests ran the kernel %d times, want exactly 1", n, execs)
+	}
+	if b := w.Builds(); b.Stats != 1 {
+		t.Errorf("Builds().Stats = %d, want 1 (one execution, one stats build)", b.Stats)
+	}
+	var leaders, coalesced, hits int
+	for _, rep := range reports {
+		switch {
+		case rep == nil:
+		case rep.Stats.Coalesced:
+			coalesced++
+		case rep.Stats.CacheHit:
+			hits++
+		default:
+			leaders++
+		}
+	}
+	if leaders != 1 || coalesced+hits != n-1 {
+		t.Errorf("outcomes: %d real, %d coalesced, %d cache hits; want 1 real and %d followers",
+			leaders, coalesced, hits, n-1)
+	}
+	if coalesced == 0 {
+		t.Error("no request coalesced despite a 100ms execution window")
+	}
+	if st := eng.Stats(); st.Coalesced != uint64(coalesced) {
+		t.Errorf("Stats().Coalesced = %d, want %d", st.Coalesced, coalesced)
+	}
+}
+
+// TestEngineSingleFlightLeaderFailure: followers never inherit a canceled
+// (partial) leader result — they rerun for real.
+func TestEngineSingleFlightLeaderFailure(t *testing.T) {
+	registerGate(t)
+	eng := pushpull.NewEngine(pushpull.WithResultCache(0))
+	w := pushpull.NewWorkload(undirectedGraph(t, 100, 79))
+
+	before := gateRuns.Load()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(leaderIn)
+		_, err := eng.Run(leaderCtx, w, "test-gate")
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled leader returned %v, want context.Canceled", err)
+		}
+	}()
+	<-leaderIn
+	time.Sleep(20 * time.Millisecond) // let the leader enter its run
+	follower := make(chan *pushpull.Report, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, err := eng.Run(context.Background(), w, "test-gate")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		follower <- rep
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower park on the flight
+	cancelLeader()
+	wg.Wait()
+
+	rep := <-follower
+	if rep.Stats.Canceled || rep.Stats.Coalesced {
+		t.Errorf("follower stats %+v, want a fresh complete run after leader cancellation", rep.Stats)
+	}
+	if execs := gateRuns.Load() - before; execs != 2 {
+		t.Errorf("kernel ran %d times, want 2 (failed leader + retrying follower)", execs)
+	}
+}
+
+// TestEngineDefaultNoSingleFlight: the facade's default engine never
+// coalesces — concurrent identical one-shot Runs all execute for real.
+func TestEngineDefaultNoSingleFlight(t *testing.T) {
+	registerGate(t)
+	w := pushpull.NewWorkload(undirectedGraph(t, 100, 81))
+
+	before := gateRuns.Load()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := pushpull.Run(context.Background(), w, "test-gate")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rep.Stats.Coalesced || rep.Stats.CacheHit {
+				t.Errorf("one-shot Run was deduplicated: %+v", rep.Stats)
+			}
+		}()
+	}
+	wg.Wait()
+	if execs := gateRuns.Load() - before; execs != 2 {
+		t.Errorf("kernel ran %d times, want 2 (default engine must not coalesce)", execs)
+	}
+}
+
+// TestEngineCacheTTL: an entry older than the TTL is evicted on lookup
+// and the request runs for real (counted as an expired miss).
+func TestEngineCacheTTL(t *testing.T) {
+	eng := pushpull.NewEngine(pushpull.WithCacheTTL(40 * time.Millisecond))
+	ctx := context.Background()
+	w := pushpull.NewWorkload(undirectedGraph(t, 300, 83))
+	opts := []pushpull.Option{pushpull.WithIterations(3)}
+
+	if _, err := eng.Run(ctx, w, "pr", opts...); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := eng.Run(ctx, w, "pr", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Stats.CacheHit {
+		t.Fatal("immediate rerun missed the cache")
+	}
+	time.Sleep(80 * time.Millisecond)
+	stale, err := eng.Run(ctx, w, "pr", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Stats.CacheHit {
+		t.Fatal("rerun after the TTL was served the expired entry")
+	}
+	if st := eng.Stats(); st.Expired != 1 || st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Errorf("stats = %+v, want 1 expired / 1 hit / 2 misses", st)
+	}
+}
+
+// TestEngineInvalidateOnOverwrite is the regression test for the stale-
+// result bug: re-registering a name with different content must drop the
+// replaced graph's cached results (they could never hit again), while
+// re-registering equal content keeps them.
+func TestEngineInvalidateOnOverwrite(t *testing.T) {
+	eng := pushpull.NewEngine()
+	ctx := context.Background()
+	a := pushpull.NewWorkload(undirectedGraph(t, 300, 87))
+	opts := []pushpull.Option{pushpull.WithIterations(4)}
+
+	if err := eng.RegisterWorkload("g", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, a, "pr", opts...); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d after one run, want 1", st.CacheEntries)
+	}
+
+	// Equal content under the same name: the cached result stays valid.
+	if err := eng.RegisterWorkload("g", pushpull.NewWorkload(undirectedGraph(t, 300, 87))); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheEntries != 1 {
+		t.Errorf("re-register of equal content dropped the cache (entries = %d)", st.CacheEntries)
+	}
+
+	// Different content: the old graph's entries are stale — gone.
+	b := pushpull.NewWorkload(undirectedGraph(t, 300, 89))
+	if err := eng.RegisterWorkload("g", b); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheEntries != 0 {
+		t.Errorf("overwrite with different content left %d stale cache entries", st.CacheEntries)
+	}
+	rep, err := eng.Run(ctx, b, "pr", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.CacheHit {
+		t.Error("run on the replacement graph was served a stale cached result")
+	}
+
+	// Explicit invalidation drops exactly the handle's entries.
+	if n := eng.Invalidate(b); n != 1 {
+		t.Errorf("Invalidate removed %d entries, want 1", n)
+	}
+	if st := eng.Stats(); st.CacheEntries != 0 {
+		t.Errorf("cache entries = %d after explicit invalidation, want 0", st.CacheEntries)
+	}
+}
+
+// TestEngineDropWorkload: dropping a graph removes the binding and its
+// cached results; dropping an unknown name reports false.
+func TestEngineDropWorkload(t *testing.T) {
+	eng := pushpull.NewEngine()
+	w := pushpull.NewWorkload(undirectedGraph(t, 200, 91))
+	if err := eng.RegisterWorkload("g", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), w, "pr", pushpull.WithIterations(3)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.DropWorkload("g")
+	if err != nil || !ok {
+		t.Fatalf("DropWorkload = %v, %v, want true, nil", ok, err)
+	}
+	if _, still := eng.Workload("g"); still {
+		t.Error("workload still registered after drop")
+	}
+	if st := eng.Stats(); st.CacheEntries != 0 {
+		t.Errorf("drop left %d cache entries", st.CacheEntries)
+	}
+	if ok, err := eng.DropWorkload("g"); ok || err != nil {
+		t.Errorf("second drop = %v, %v, want false, nil", ok, err)
+	}
+}
+
+// shardRuns snapshots the per-shard run counters.
+func shardRuns(eng *pushpull.Engine) []uint64 {
+	st := eng.Stats()
+	runs := make([]uint64, len(st.Shards))
+	for i, sh := range st.Shards {
+		runs[i] = sh.Runs
+	}
+	return runs
+}
+
+// shardOf probes which shard a workload's runs land on.
+func shardOf(t *testing.T, eng *pushpull.Engine, w *pushpull.Workload) int {
+	t.Helper()
+	before := shardRuns(eng)
+	if _, err := eng.Run(context.Background(), w, "pr", pushpull.WithIterations(1)); err != nil {
+		t.Fatal(err)
+	}
+	after := shardRuns(eng)
+	for i := range after {
+		if after[i] > before[i] {
+			return i
+		}
+	}
+	t.Fatal("run landed on no shard")
+	return -1
+}
+
+// TestEngineShardPlacement: placement is deterministic by content (the
+// same workload always lands on the same shard), distinct workloads
+// spread across shards, and partition-aware runs stick to the shard
+// owning their PA split.
+func TestEngineShardPlacement(t *testing.T) {
+	eng := pushpull.NewEngine(pushpull.WithShards(3), pushpull.WithResultCache(0))
+	seen := map[int]bool{}
+	for seed := uint64(101); seed < 113; seed++ {
+		w := pushpull.NewWorkload(undirectedGraph(t, 200, seed))
+		first := shardOf(t, eng, w)
+		if again := shardOf(t, eng, w); again != first {
+			t.Errorf("seed %d: placement moved shard %d → %d", seed, first, again)
+		}
+		seen[first] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("12 distinct workloads all landed on one shard: %v", seen)
+	}
+
+	// PA runs route by (content, partition count): identical PA runs
+	// land together.
+	pa := pushpull.NewEngine(pushpull.WithShards(4), pushpull.WithResultCache(0))
+	w := pushpull.NewWorkload(undirectedGraph(t, 200, 131))
+	opts := []pushpull.Option{pushpull.WithDirection(pushpull.Push),
+		pushpull.WithPartitionAwareness(), pushpull.WithPartitions(3), pushpull.WithThreads(3)}
+	for i := 0; i < 2; i++ {
+		if _, err := pa.Run(context.Background(), w, "pr", opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := shardRuns(pa)
+	var total, maxed uint64
+	for _, r := range runs {
+		total += r
+		if r > maxed {
+			maxed = r
+		}
+	}
+	if total != 2 || maxed != 2 {
+		t.Errorf("PA runs spread as %v, want both on one shard", runs)
+	}
+}
+
+// TestEngineShardNoHeadOfLine is the sharding acceptance check: with one
+// worker per shard, a run against a graph on a busy shard queues, but a
+// run against a graph on another shard is admitted immediately — the hot
+// graph no longer head-of-line-blocks the rest.
+func TestEngineShardNoHeadOfLine(t *testing.T) {
+	registerSlow(t)
+	// Probe placement on an unbounded twin: placement depends only on
+	// content identity and shard count, so it transfers to the real
+	// engine below.
+	probe := pushpull.NewEngine(pushpull.WithShards(2), pushpull.WithResultCache(0))
+	var hot, cold *pushpull.Workload
+	hotShard := -1
+	for seed := uint64(211); seed < 231; seed++ {
+		w := pushpull.NewWorkload(undirectedGraph(t, 100, seed))
+		sh := shardOf(t, probe, w)
+		if hot == nil {
+			hot, hotShard = w, sh
+			continue
+		}
+		if sh != hotShard {
+			cold = w
+			break
+		}
+	}
+	if cold == nil {
+		t.Fatal("no pair of workloads on distinct shards among 20 seeds")
+	}
+
+	eng := pushpull.NewEngine(pushpull.WithShards(2), pushpull.WithWorkers(1), pushpull.WithResultCache(0))
+	slotHeld := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The hook makes the run uncacheable (no single-flight) and
+		// doubles as the "slot acquired" signal.
+		if _, err := eng.Run(context.Background(), hot, "test-slow",
+			pushpull.WithIterationHook(func(int, time.Duration) { close(slotHeld) })); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-slotHeld // hot's shard is now saturated for ~30ms
+
+	rep, err := eng.Run(context.Background(), cold, "test-slow",
+		pushpull.WithIterationHook(func(int, time.Duration) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.QueueWait != 0 {
+		t.Errorf("run on the cold shard waited %v behind the hot graph", rep.Stats.QueueWait)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	if st.QueuedRuns != 0 {
+		t.Errorf("stats = %+v, want no queued runs across shards", st)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("got %d shard stats, want 2", len(st.Shards))
 	}
 }
 

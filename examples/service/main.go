@@ -3,9 +3,15 @@
 // It uploads a locally generated RMAT workload in the portable edge-list
 // format, lists the algorithm registry, then issues the same PageRank
 // run twice — the first executes the kernels, the second must be
-// answered from the engine's result cache (stats.cache_hit). The program
-// exits non-zero when the cache miss/hit contract is violated, so CI can
-// use it as the end-to-end serve smoke:
+// answered from the engine's result cache (stats.cache_hit). It then
+// fires a burst of concurrent identical requests (fresh options, so
+// nothing is cached yet) to show single-flight dedup: exactly one must
+// execute for real, the rest arrive coalesced or as cache hits. Finally
+// it uploads a scratch graph and DELETEs it again, asserting runs
+// against it 404 afterwards. The program exits non-zero when any of
+// these contracts is violated, so CI can use it as the end-to-end serve
+// smoke — and, run against a `-store`-backed server, as the upload phase
+// of the persistence smoke (the "demo" graph is left registered):
 //
 //	pushpull serve -addr 127.0.0.1:18080 &
 //	go run ./examples/service -addr http://127.0.0.1:18080
@@ -19,6 +25,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"pushpull"
@@ -30,6 +37,7 @@ type runStats struct {
 	ElapsedNS   int64  `json:"elapsed_ns"`
 	QueueWaitNS int64  `json:"queue_wait_ns"`
 	CacheHit    bool   `json:"cache_hit"`
+	Coalesced   bool   `json:"coalesced"`
 }
 
 type runResponse struct {
@@ -81,6 +89,64 @@ func main() {
 	if !second.Stats.CacheHit {
 		log.Fatal("second identical run was not served from cache")
 	}
+
+	// Single-flight: a burst of concurrent identical requests with fresh
+	// options (nothing cached for them yet) must execute exactly once —
+	// every other response arrives coalesced onto that run, or as a cache
+	// hit if it was scheduled only after the run completed.
+	const burst = 6
+	burstBody := `{"graph": "demo", "algorithm": "pr", "options": {"direction": "push", "iterations": 30}}`
+	var wg sync.WaitGroup
+	results := make([]runResponse, burst)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mustJSON(do(client, post(*addr+"/run", burstBody), http.StatusOK), &results[i])
+		}(i)
+	}
+	wg.Wait()
+	var real, coalesced, hits int
+	for _, r := range results {
+		switch {
+		case r.Stats.Coalesced:
+			coalesced++
+		case r.Stats.CacheHit:
+			hits++
+		default:
+			real++
+		}
+	}
+	fmt.Printf("burst of %d identical runs: %d executed, %d coalesced, %d cache hits\n",
+		burst, real, coalesced, hits)
+	if real != 1 {
+		log.Fatalf("single-flight violated: %d of %d concurrent identical runs executed", real, burst)
+	}
+
+	// Graph lifecycle: a scratch upload can be DELETEd again, after which
+	// runs against it 404. The "demo" graph stays registered — a
+	// store-backed server persists it across restarts.
+	var scratch bytes.Buffer
+	tiny, err := pushpull.ErdosRenyi(64, 4, 7)
+	if err != nil {
+		log.Fatalf("generate scratch: %v", err)
+	}
+	if err := pushpull.WriteWorkload(&scratch, pushpull.NewWorkload(tiny)); err != nil {
+		log.Fatalf("serialize scratch: %v", err)
+	}
+	req, err = http.NewRequest(http.MethodPut, *addr+"/graphs/scratch", &scratch)
+	if err != nil {
+		log.Fatalf("upload request: %v", err)
+	}
+	do(client, req, http.StatusCreated)
+	req, err = http.NewRequest(http.MethodDelete, *addr+"/graphs/scratch", nil)
+	if err != nil {
+		log.Fatalf("delete request: %v", err)
+	}
+	do(client, req, http.StatusNoContent)
+	do(client, post(*addr+"/run", `{"graph": "scratch", "algorithm": "pr"}`), http.StatusNotFound)
+	fmt.Println("scratch graph uploaded, deleted, and verified gone")
+
 	fmt.Printf("engine stats: %s", do(client, get(*addr+"/stats"), http.StatusOK))
 }
 

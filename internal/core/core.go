@@ -122,6 +122,11 @@ type RunStats struct {
 	// CacheHit marks a report served from an engine's result cache: no
 	// kernel ran, and Elapsed/PerIteration describe the original run.
 	CacheHit bool
+	// Coalesced marks a report served by single-flight deduplication: the
+	// request arrived while an identical run was already executing and was
+	// answered from that run's result without executing anything itself.
+	// Elapsed/PerIteration describe the run it coalesced onto.
+	Coalesced bool
 	// QueueWait is how long the run waited in the engine's admission
 	// queue before a worker slot freed up (0 when admitted immediately
 	// or served from cache).

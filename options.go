@@ -219,12 +219,15 @@ func (c *Config) partitions(w *Workload) int {
 }
 
 // fingerprint renders the configuration as a deterministic, canonical
-// string — the options component of an Engine's result-cache key. Two
-// configs produce the same fingerprint exactly when an identical run
-// would compute the same report, so every result-shaping knob is folded
-// in with a fixed field order.
+// string — the options component of an Engine's result-cache key, reused
+// verbatim as the single-flight dedup key (two concurrent requests
+// coalesce exactly when a completed one could have answered the other
+// from cache). Two configs produce the same fingerprint exactly when an
+// identical run would compute the same report, so every result-shaping
+// knob is folded in with a fixed field order.
 //
-// It returns ok=false for configs that must never be served from cache:
+// It returns ok=false for configs that must never be served from cache
+// (and so never coalesce either):
 // an iteration hook observes live per-iteration timings, probes produce
 // a measurement pass the caller wants re-executed, a caller-supplied PA
 // layout and custom switch policies carry pointer-identified mutable

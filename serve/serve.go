@@ -8,14 +8,18 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness probe
-//	GET  /algorithms       the registry: name, description, caps
-//	GET  /graphs           registered workloads: name, n, m, kind, id
-//	PUT  /graphs/{name}    register a workload from an edge-list body
+//	GET    /healthz        liveness probe
+//	GET    /algorithms     the registry: name, description, caps
+//	GET    /graphs         registered workloads: name, n, m, kind, id
+//	PUT    /graphs/{name}  register a workload from an edge-list body
 //	                       (the WriteWorkload format; the header's kind
-//	                       flags — directed, weighted — are honored)
-//	POST /run              {"graph": ..., "algorithm": ..., "options": {...}}
-//	GET  /stats            engine cache/queue telemetry
+//	                       flags — directed, weighted — are honored);
+//	                       persisted when the engine has a store attached,
+//	                       and overwriting a name with different content
+//	                       invalidates the old graph's cached results
+//	DELETE /graphs/{name}  drop a workload (registry, cache, and store)
+//	POST   /run            {"graph": ..., "algorithm": ..., "options": {...}}
+//	GET    /stats          engine cache/dedup telemetry + per-shard queues
 //
 // Run responses carry the uniform Report lowered to JSON: the payload
 // (ranks/counts/colors/parents+levels where the algorithm has one), the
@@ -52,6 +56,7 @@ func New(eng *pushpull.Engine) *Server {
 	s.mux.HandleFunc("GET /algorithms", s.algorithms)
 	s.mux.HandleFunc("GET /graphs", s.graphs)
 	s.mux.HandleFunc("PUT /graphs/{name}", s.putGraph)
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.deleteGraph)
 	s.mux.HandleFunc("POST /run", s.run)
 	s.mux.HandleFunc("GET /stats", s.stats)
 	return s
@@ -136,18 +141,31 @@ type RunStats struct {
 	ElapsedNS   int64  `json:"elapsed_ns"`
 	QueueWaitNS int64  `json:"queue_wait_ns"`
 	CacheHit    bool   `json:"cache_hit"`
+	Coalesced   bool   `json:"coalesced"`
 	Canceled    bool   `json:"canceled"`
 }
 
-// EngineStats is the GET /stats body.
+// ShardStats is one per-shard entry of the GET /stats body.
+type ShardStats struct {
+	Shard       int    `json:"shard"`
+	Runs        uint64 `json:"runs"`
+	QueuedRuns  uint64 `json:"queued_runs"`
+	QueueWaitNS int64  `json:"queue_wait_ns"`
+}
+
+// EngineStats is the GET /stats body. QueuedRuns/QueueWaitNS aggregate
+// the per-shard breakdown in Shards.
 type EngineStats struct {
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
-	Uncacheable  uint64 `json:"uncacheable"`
-	CacheEntries int    `json:"cache_entries"`
-	QueuedRuns   uint64 `json:"queued_runs"`
-	QueueWaitNS  int64  `json:"queue_wait_ns"`
-	Graphs       int    `json:"graphs"`
+	CacheHits    uint64       `json:"cache_hits"`
+	CacheMisses  uint64       `json:"cache_misses"`
+	Uncacheable  uint64       `json:"uncacheable"`
+	Coalesced    uint64       `json:"coalesced"`
+	CacheExpired uint64       `json:"cache_expired"`
+	CacheEntries int          `json:"cache_entries"`
+	QueuedRuns   uint64       `json:"queued_runs"`
+	QueueWaitNS  int64        `json:"queue_wait_ns"`
+	Graphs       int          `json:"graphs"`
+	Shards       []ShardStats `json:"shards"`
 }
 
 type errorBody struct {
@@ -193,10 +211,30 @@ func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.eng.RegisterWorkload(name, wl); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, pushpull.ErrStore) {
+			// The graph is registered but not persisted: a server-side
+			// fault, not a client mistake.
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, graphInfo(name, wl))
+}
+
+func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ok, err := s.eng.DropWorkload(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) run(w http.ResponseWriter, r *http.Request) {
@@ -242,15 +280,27 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
-	writeJSON(w, http.StatusOK, EngineStats{
+	out := EngineStats{
 		CacheHits:    es.CacheHits,
 		CacheMisses:  es.CacheMisses,
 		Uncacheable:  es.Uncacheable,
+		Coalesced:    es.Coalesced,
+		CacheExpired: es.Expired,
 		CacheEntries: es.CacheEntries,
 		QueuedRuns:   es.QueuedRuns,
 		QueueWaitNS:  int64(es.QueueWait),
 		Graphs:       len(s.eng.WorkloadNames()),
-	})
+		Shards:       make([]ShardStats, len(es.Shards)),
+	}
+	for i, sh := range es.Shards {
+		out.Shards[i] = ShardStats{
+			Shard:       sh.Shard,
+			Runs:        sh.Runs,
+			QueuedRuns:  sh.QueuedRuns,
+			QueueWaitNS: int64(sh.QueueWait),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ---- lowering helpers ----
@@ -318,6 +368,7 @@ func buildResponse(req RunRequest, rep *pushpull.Report) RunResponse {
 			ElapsedNS:   int64(rep.Stats.Elapsed),
 			QueueWaitNS: int64(rep.Stats.QueueWait),
 			CacheHit:    rep.Stats.CacheHit,
+			Coalesced:   rep.Stats.Coalesced,
 			Canceled:    rep.Stats.Canceled,
 		},
 	}

@@ -8,13 +8,17 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pushpull"
 	"pushpull/serve"
@@ -82,6 +86,36 @@ func doJSON(t *testing.T, req *http.Request, wantStatus int, into any) {
 			t.Fatalf("parsing %q: %v", body, err)
 		}
 	}
+}
+
+// gateRuns counts real gateAlgo executions; gateAlgo dawdles ~100ms per
+// run so concurrently issued identical requests must overlap it.
+var gateRuns atomic.Int64
+
+type gateAlgo struct{}
+
+func (gateAlgo) Name() string { return "test-gate" }
+func (gateAlgo) Describe() string {
+	return "test-only: counts executions and dawdles to invite coalescing"
+}
+func (gateAlgo) Caps() pushpull.Caps { return pushpull.Caps{} }
+func (gateAlgo) Run(ctx context.Context, w *pushpull.Workload, cfg *pushpull.Config) (*pushpull.Report, error) {
+	gateRuns.Add(1)
+	w.Stats()
+	stats := pushpull.RunStats{Iterations: 1}
+	select {
+	case <-time.After(100 * time.Millisecond):
+	case <-ctx.Done():
+		stats.Canceled = true
+	}
+	return &pushpull.Report{Result: []float64{1}, Stats: stats}, nil
+}
+
+var registerGateOnce sync.Once
+
+func registerGate(t *testing.T) {
+	t.Helper()
+	registerGateOnce.Do(func() { pushpull.MustRegister(gateAlgo{}) })
 }
 
 // TestServeRunCacheHit is the end-to-end acceptance path: upload, run,
@@ -251,5 +285,196 @@ func TestServeBFSPayload(t *testing.T) {
 	}
 	if resp.Levels[1] != 0 {
 		t.Errorf("source level = %d, want 0", resp.Levels[1])
+	}
+}
+
+// TestServeSingleFlight is the serving-layer dedup acceptance check: N
+// concurrent identical POST /run requests produce exactly one underlying
+// kernel execution — proven by the run counter and by the server-side
+// workload's Builds() — with every follower's response flagged coalesced
+// (or cache_hit, for one scheduled only after the leader finished).
+func TestServeSingleFlight(t *testing.T) {
+	registerGate(t)
+	ts, eng := newTestServer(t)
+	uploadGraph(t, ts, "demo", pushpull.NewWorkload(smallGraph(t)))
+
+	const n = 8
+	before := gateRuns.Load()
+	body := `{"graph": "demo", "algorithm": "test-gate"}`
+	responses := make([]serve.RunResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var resp serve.RunResponse
+			doJSON(t, req, http.StatusOK, &resp)
+			responses[i] = resp
+		}(i)
+	}
+	wg.Wait()
+
+	if execs := gateRuns.Load() - before; execs != 1 {
+		t.Errorf("%d concurrent identical POST /run executed the kernel %d times, want exactly 1", n, execs)
+	}
+	wl, ok := eng.Workload("demo")
+	if !ok {
+		t.Fatal("uploaded workload vanished")
+	}
+	if b := wl.Builds(); b.Stats != 1 {
+		t.Errorf("server-side Builds().Stats = %d, want 1", b.Stats)
+	}
+	var real, followers int
+	for _, resp := range responses {
+		if resp.Stats.Coalesced || resp.Stats.CacheHit {
+			followers++
+		} else {
+			real++
+		}
+	}
+	if real != 1 || followers != n-1 {
+		t.Errorf("%d real runs and %d deduplicated followers, want 1 and %d", real, followers, n-1)
+	}
+
+	var st serve.EngineStats
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	doJSON(t, req, http.StatusOK, &st)
+	if st.Coalesced == 0 {
+		t.Error("GET /stats reports no coalesced requests despite the 100ms execution window")
+	}
+}
+
+// TestServeDeleteGraph: DELETE /graphs/{name} removes the binding (204),
+// after which runs 404; deleting again 404s too.
+func TestServeDeleteGraph(t *testing.T) {
+	ts, eng := newTestServer(t)
+	uploadGraph(t, ts, "doomed", pushpull.NewWorkload(smallGraph(t)))
+	postRun(t, ts, `{"graph": "doomed", "algorithm": "pr", "options": {"iterations": 3}}`, http.StatusOK)
+	if st := eng.Stats(); st.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d before delete, want 1", st.CacheEntries)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/doomed", nil)
+	doJSON(t, req, http.StatusNoContent, nil)
+	if st := eng.Stats(); st.CacheEntries != 0 {
+		t.Errorf("delete left %d cached results for the dropped graph", st.CacheEntries)
+	}
+	postRun(t, ts, `{"graph": "doomed", "algorithm": "pr"}`, http.StatusNotFound)
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/graphs/doomed", nil)
+	doJSON(t, req, http.StatusNotFound, nil)
+
+	var graphs []serve.GraphInfo
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/graphs", nil)
+	doJSON(t, req, http.StatusOK, &graphs)
+	if len(graphs) != 0 {
+		t.Errorf("GET /graphs = %+v after delete, want empty", graphs)
+	}
+}
+
+// TestServeRePutInvalidates is the HTTP face of the stale-result
+// regression: re-uploading a name with different content drops the old
+// graph's cached results and runs against the new graph for real.
+func TestServeRePutInvalidates(t *testing.T) {
+	ts, eng := newTestServer(t)
+	small, err := pushpull.ErdosRenyi(200, 6, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadGraph(t, ts, "g", pushpull.NewWorkload(small))
+	body := `{"graph": "g", "algorithm": "pr", "options": {"iterations": 5}}`
+	first := postRun(t, ts, body, http.StatusOK)
+	if first.Stats.CacheHit || len(first.Ranks) != small.N() {
+		t.Fatalf("first run: %d ranks, stats %+v", len(first.Ranks), first.Stats)
+	}
+
+	bigger, err := pushpull.ErdosRenyi(300, 6, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadGraph(t, ts, "g", pushpull.NewWorkload(bigger))
+	if st := eng.Stats(); st.CacheEntries != 0 {
+		t.Errorf("re-PUT with different content left %d stale cache entries", st.CacheEntries)
+	}
+	second := postRun(t, ts, body, http.StatusOK)
+	if second.Stats.CacheHit {
+		t.Error("identical request after re-PUT served the old graph's cached result")
+	}
+	if len(second.Ranks) != bigger.N() {
+		t.Errorf("run after re-PUT returned %d ranks, want the new graph's %d", len(second.Ranks), bigger.N())
+	}
+}
+
+// TestServeStatsShards: the stats endpoint exposes the per-shard
+// breakdown of a sharded engine, and cache hits never reach a shard.
+func TestServeStatsShards(t *testing.T) {
+	eng := pushpull.NewEngine(pushpull.WithShards(3))
+	ts := httptest.NewServer(serve.New(eng))
+	t.Cleanup(ts.Close)
+	uploadGraph(t, ts, "demo", pushpull.NewWorkload(smallGraph(t)))
+	body := `{"graph": "demo", "algorithm": "pr", "options": {"iterations": 3}}`
+	postRun(t, ts, body, http.StatusOK)
+	postRun(t, ts, body, http.StatusOK) // cache hit: no shard run
+
+	var st serve.EngineStats
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	doJSON(t, req, http.StatusOK, &st)
+	if len(st.Shards) != 3 {
+		t.Fatalf("stats expose %d shards, want 3", len(st.Shards))
+	}
+	var total uint64
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Errorf("shard %d labeled %d", i, sh.Shard)
+		}
+		total += sh.Runs
+	}
+	if total != 1 || st.CacheHits != 1 {
+		t.Errorf("shard runs total %d with %d cache hits, want 1 run / 1 hit", total, st.CacheHits)
+	}
+}
+
+// TestServePersistenceRestart: with a DiskStore attached, uploaded graphs
+// survive a server restart — a new engine over the same directory serves
+// the graph under the same name with the same content identity, and the
+// post-restart cache behaves exactly as pre-restart (first run real,
+// second a hit).
+func TestServePersistenceRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *pushpull.Engine {
+		t.Helper()
+		s, err := pushpull.NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := pushpull.NewEngine()
+		if err := eng.AttachStore(s); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	ts1 := httptest.NewServer(serve.New(open()))
+	info := uploadGraph(t, ts1, "persisted", pushpull.NewWorkload(smallGraph(t)))
+	ts1.Close() // the restart
+
+	ts2 := httptest.NewServer(serve.New(open()))
+	t.Cleanup(ts2.Close)
+	var graphs []serve.GraphInfo
+	req, _ := http.NewRequest(http.MethodGet, ts2.URL+"/graphs", nil)
+	doJSON(t, req, http.StatusOK, &graphs)
+	if len(graphs) != 1 || graphs[0].Name != "persisted" || graphs[0].ID != info.ID {
+		t.Fatalf("after restart GET /graphs = %+v, want %q with id %s", graphs, "persisted", info.ID)
+	}
+	body := `{"graph": "persisted", "algorithm": "pr", "options": {"iterations": 5}}`
+	if first := postRun(t, ts2, body, http.StatusOK); first.Stats.CacheHit {
+		t.Error("first post-restart run claims a cache hit on a fresh engine")
+	}
+	if second := postRun(t, ts2, body, http.StatusOK); !second.Stats.CacheHit {
+		t.Error("second identical post-restart run missed the cache")
 	}
 }

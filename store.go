@@ -1,0 +1,229 @@
+package pushpull
+
+// GraphStore: the persistence layer behind an Engine's named-workload
+// registry. PR 4's serving front kept uploaded graphs in process memory,
+// so a restart forgot every PUT /graphs; a store attached to the Engine
+// (AttachStore) makes the registry durable — every RegisterWorkload is
+// written through, every DropWorkload deleted, and a fresh Engine
+// attaching the same store restores the full name→Workload map before it
+// serves its first request.
+//
+// Two implementations ship: MemStore (a map — the write-through contract
+// without durability, for tests and composition) and DiskStore (one
+// portable edge-list file per graph, the WriteWorkload format, so the
+// persisted state is human-readable and survives process and machine
+// restarts).
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrStore marks a graph-store failure (I/O, corrupt persisted graph).
+// Engine methods wrap store errors with it so serving fronts can map them
+// to server-side failures instead of client mistakes.
+var ErrStore = errors.New("pushpull: graph store failure")
+
+// GraphStore persists named workloads for an Engine. Implementations must
+// be safe for concurrent use; names are arbitrary non-empty strings (the
+// serving front passes URL path segments through verbatim).
+type GraphStore interface {
+	// Names lists every persisted workload name.
+	Names() ([]string, error)
+	// Get loads the workload persisted under name. A missing name is an
+	// error (the Engine only asks for names the store listed).
+	Get(name string) (*Workload, error)
+	// Put persists w under name, replacing any previous content.
+	Put(name string, w *Workload) error
+	// Delete removes name. Deleting a name that was never persisted is
+	// not an error — the Engine may drop graphs registered before the
+	// store was attached.
+	Delete(name string) error
+}
+
+// ---- in-memory store ----
+
+// MemStore is a map-backed GraphStore: the write-through contract without
+// durability. It is what tests compose against, and a building block for
+// wrapping stores (e.g. a write-behind cache over a remote store).
+type MemStore struct {
+	mu     sync.Mutex
+	graphs map[string]*Workload
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{graphs: map[string]*Workload{}}
+}
+
+// Names implements GraphStore.
+func (s *MemStore) Names() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Get implements GraphStore.
+func (s *MemStore) Get(name string) (*Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("memstore: %q: %w", name, fs.ErrNotExist)
+	}
+	return w, nil
+}
+
+// Put implements GraphStore.
+func (s *MemStore) Put(name string, w *Workload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.graphs[name] = w
+	return nil
+}
+
+// Delete implements GraphStore.
+func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.graphs, name)
+	return nil
+}
+
+// ---- on-disk store ----
+
+// DiskStore persists each workload as one edge-list file under a
+// directory: <url.PathEscape(name)>.el in the WriteWorkload format, whose
+// header records the serialized graph kind (directedness, weights), so a
+// restored workload matches what the uploader registered — same content
+// ID, same capability validation — and any cached result computed before
+// the restart stays valid for it. The caveat is WriteWorkload's: the
+// machine-local parts of a handle's kind (the AsPartitioned default, an
+// AsWeighted claim on a weightless graph) are deliberately not
+// serialized, so a handle registered programmatically with those set
+// restores without them — and with the correspondingly different content
+// ID. Workloads that arrived through ReadWorkload (every HTTP upload)
+// round-trip exactly. Writes are atomic (temp file + rename): a crash
+// mid-Put leaves the previous content intact.
+type DiskStore struct {
+	dir string
+	// mu serializes writers per store; readers go straight to the
+	// filesystem (rename makes each file's content atomic).
+	mu sync.Mutex
+}
+
+// diskExt is the persisted-file suffix.
+const diskExt = ".el"
+
+// NewDiskStore opens (creating if needed) an edge-list store rooted at
+// dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// path maps a graph name onto its file. PathEscape makes the mapping
+// injective and filesystem-safe: separators and every other reserved byte
+// arrive percent-encoded, so no name can escape the store directory. A
+// leading dot is escaped by hand (PathEscape leaves it alone): dotfiles
+// are reserved for the store's own temp files, and a graph named
+// ".hidden" must not be mistaken for one and dropped by Names.
+func (s *DiskStore) path(name string) string {
+	esc := url.PathEscape(name)
+	if strings.HasPrefix(esc, ".") {
+		esc = "%2E" + esc[1:]
+	}
+	return filepath.Join(s.dir, esc+diskExt)
+}
+
+// Names implements GraphStore.
+func (s *DiskStore) Names() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		base, ok := strings.CutSuffix(e.Name(), diskExt)
+		if !ok || e.IsDir() || strings.HasPrefix(base, ".") {
+			// Temp files and foreign droppings. Persisted names never
+			// produce a dotfile: path() escapes a leading dot.
+			continue
+		}
+		name, err := url.PathUnescape(base)
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: undecodable file %q: %w", e.Name(), err)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Get implements GraphStore.
+func (s *DiskStore) Get(name string) (*Workload, error) {
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+	w, err := ReadWorkload(f)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	return w, nil
+}
+
+// Put implements GraphStore.
+func (s *DiskStore) Put(name string, w *Workload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := WriteWorkload(tmp, w); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	return nil
+}
+
+// Delete implements GraphStore.
+func (s *DiskStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	return nil
+}

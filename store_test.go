@@ -1,0 +1,210 @@
+package pushpull_test
+
+// GraphStore tests: the persistence layer behind the serving registry.
+// Both implementations round-trip name, content and kind; the disk store
+// survives a simulated restart (a fresh Engine attaching the same
+// directory restores every graph with the same content identity, so
+// cached results computed before the restart stay valid), and deletions
+// propagate.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pushpull"
+)
+
+// storeRoundTrip drives the GraphStore contract shared by every
+// implementation.
+func storeRoundTrip(t *testing.T, s pushpull.GraphStore) {
+	t.Helper()
+	if names, err := s.Names(); err != nil || len(names) != 0 {
+		t.Fatalf("fresh store: Names() = %v, %v", names, err)
+	}
+	plain := pushpull.NewWorkload(undirectedGraph(t, 200, 41))
+	dw := pushpull.Directed(directedGraph(t, 100, true), pushpull.AsWeighted())
+	// Names are arbitrary URL path segments: separators, spaces, percent
+	// signs and a leading dot (regression: DiskStore used to drop
+	// dot-prefixed names on restore, mistaking them for temp files) must
+	// all survive.
+	if err := s.Put("plain", plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("team a/road net 10%", dw); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(".hidden", plain); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.Names()
+	if err != nil || len(names) != 3 || names[0] != ".hidden" || names[1] != "plain" || names[2] != "team a/road net 10%" {
+		t.Fatalf("Names() = %v, %v", names, err)
+	}
+	if got, err := s.Get(".hidden"); err != nil || got.ID() != plain.ID() {
+		t.Fatalf("dot-prefixed name did not round-trip: %v, %v", got, err)
+	}
+	if err := s.Delete(".hidden"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("team a/road net 10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsDirected() || !got.HasWeights() {
+		t.Errorf("restored kind %q lost directedness or weights", got.Kind())
+	}
+	if got.ID() != dw.ID() {
+		t.Errorf("restored content identity %s != stored %s", got.ID(), dw.ID())
+	}
+	// Overwrite replaces content.
+	if err := s.Put("plain", dw); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("plain"); err != nil || got.ID() != dw.ID() {
+		t.Errorf("overwrite not visible: %v, %v", got, err)
+	}
+	// Delete removes; deleting a never-stored name is not an error.
+	if err := s.Delete("plain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("plain"); err == nil {
+		t.Error("Get after Delete succeeded")
+	}
+	if err := s.Delete("never-stored"); err != nil {
+		t.Errorf("Delete of unknown name: %v", err)
+	}
+	if names, _ := s.Names(); len(names) != 1 {
+		t.Errorf("Names() after delete = %v, want one entry", names)
+	}
+}
+
+func TestMemStore(t *testing.T) { storeRoundTrip(t, pushpull.NewMemStore()) }
+
+func TestDiskStore(t *testing.T) {
+	s, err := pushpull.NewDiskStore(filepath.Join(t.TempDir(), "graphs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeRoundTrip(t, s)
+	// The persisted form is one sanitized edge-list file per graph: no
+	// name can smuggle a path separator past the escaping.
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || strings.ContainsAny(e.Name(), "/ ") || !strings.HasSuffix(e.Name(), ".el") {
+			t.Errorf("store file %q is not a flat sanitized .el file", e.Name())
+		}
+	}
+}
+
+// TestDiskStoreIgnoresForeignFiles: temp files and unrelated droppings in
+// the store directory do not surface as graphs.
+func TestDiskStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := pushpull.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("g", pushpull.NewWorkload(undirectedGraph(t, 50, 43))); err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range []string{".put-orphan", "README.md", ".hidden.el"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.Names()
+	if err != nil || len(names) != 1 || names[0] != "g" {
+		t.Fatalf("Names() = %v, %v, want exactly [g]", names, err)
+	}
+}
+
+// TestEngineAttachStoreRestart: the zero→restart path of the persistent
+// registry. Engine 1 registers graphs through an attached DiskStore;
+// engine 2 (the "restarted server") attaches the same directory and sees
+// them all, with identical content IDs — so its result cache keys line up
+// with pre-restart runs. Drops propagate to later restarts too.
+func TestEngineAttachStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *pushpull.DiskStore {
+		s, err := pushpull.NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	eng1 := pushpull.NewEngine()
+	if err := eng1.AttachStore(open()); err != nil {
+		t.Fatal(err)
+	}
+	g := pushpull.NewWorkload(undirectedGraph(t, 300, 47))
+	h := pushpull.Directed(directedGraph(t, 150, false))
+	if err := eng1.RegisterWorkload("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.RegisterWorkload("h", h); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := pushpull.NewEngine()
+	if err := eng2.AttachStore(open()); err != nil {
+		t.Fatal(err)
+	}
+	names := eng2.WorkloadNames()
+	if len(names) != 2 || names[0] != "g" || names[1] != "h" {
+		t.Fatalf("restarted engine sees %v, want [g h]", names)
+	}
+	rg, _ := eng2.Workload("g")
+	rh, _ := eng2.Workload("h")
+	if rg.ID() != g.ID() || rh.ID() != h.ID() {
+		t.Errorf("restart changed content identity: g %s→%s, h %s→%s", g.ID(), rg.ID(), h.ID(), rh.ID())
+	}
+	if !rh.IsDirected() {
+		t.Error("restart lost h's directedness")
+	}
+
+	if ok, err := eng2.DropWorkload("g"); !ok || err != nil {
+		t.Fatalf("drop on restarted engine: %v, %v", ok, err)
+	}
+	eng3 := pushpull.NewEngine()
+	if err := eng3.AttachStore(open()); err != nil {
+		t.Fatal(err)
+	}
+	if names := eng3.WorkloadNames(); len(names) != 1 || names[0] != "h" {
+		t.Errorf("second restart sees %v, want [h] after the drop", names)
+	}
+}
+
+// TestEngineStoreWriteThrough: registrations before AttachStore are not
+// persisted (the store is the durable truth from attach onward), ones
+// after are.
+func TestEngineStoreWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	s, err := pushpull.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := pushpull.NewEngine()
+	if err := eng.RegisterWorkload("ephemeral", pushpull.NewWorkload(undirectedGraph(t, 50, 53))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachStore(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterWorkload("durable", pushpull.NewWorkload(undirectedGraph(t, 50, 59))); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.Names()
+	if err != nil || len(names) != 1 || names[0] != "durable" {
+		t.Fatalf("persisted names = %v, %v, want exactly [durable]", names, err)
+	}
+	// Both are registered in memory regardless.
+	if got := eng.WorkloadNames(); len(got) != 2 {
+		t.Errorf("registry = %v, want both graphs", got)
+	}
+}

@@ -202,9 +202,11 @@ func (w *Workload) Stats() GraphStats {
 // ID returns the workload's stable content identity: a digest of the
 // adjacency structure, the edge weights, and the declared kind (directed,
 // weighted, default partitions). Two handles over equal content share the
-// ID — it is what an Engine's result cache keys on, so cached reports
-// survive re-wrapping or re-loading the same graph. The digest is an
-// O(n + m) pass computed once per handle and memoized.
+// ID — it is what an Engine's result cache and single-flight dedup key
+// on, and what shard placement hashes, so cached reports (and shard
+// affinity) survive re-wrapping or re-loading the same graph, including a
+// restore from a GraphStore after a restart. The digest is an O(n + m)
+// pass computed once per handle and memoized.
 func (w *Workload) ID() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
