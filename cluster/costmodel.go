@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+
+	"pushpull"
+)
+
+// CostModel picks push vs pull per placed graph from the paper's §6.3
+// cost model: the dist-* registry algorithms simulate the same
+// computation over RMA push (remote accumulates), RMA pull (remote
+// reads) and message passing, billing every remote operation, and their
+// simulated makespans are exactly the quantity §6.3 compares. The router
+// runs the push/pull pair once per uploaded graph (placement time, not
+// request time) and records the cheaper mechanism's direction as advice;
+// depending on the -direction-advisor mode the router annotates routed
+// runs with it (X-Cluster-Direction-Advice) or forces it onto runs that
+// left the direction on auto.
+//
+// The advice is per (graph content, algorithm): the paper's point is
+// that the winner flips with the workload — high-degree skew favors
+// pull's contention-free remote reads, while sparse updates favor push —
+// so a fleet serving many graphs wants a per-placement verdict, not a
+// global default.
+type CostModel struct {
+	// Ranks is the simulated cluster size fed to the dist-* runs; 0 uses
+	// the number of workers the router actually has (min 2 — a 1-rank
+	// simulation has no remote operations to bill).
+	Ranks int
+}
+
+// advisedAlgorithms maps each advisable registry algorithm to its §6.3
+// simulation pair (push variant, pull variant). Only pr and tc have
+// dist-* simulations in the paper; every other algorithm routes without
+// advice.
+var advisedAlgorithms = map[string][2]string{
+	"pr": {"dist-pr-push-rma", "dist-pr-pull-rma"},
+	"tc": {"dist-tc-push-rma", "dist-tc-pull-rma"},
+}
+
+// Advise bills both mechanisms for every advisable algorithm on w and
+// returns algorithm → "push"/"pull" for the cheaper one. Algorithms
+// whose simulation rejects the workload (e.g. directed graphs) are
+// skipped; an empty map means no advice.
+func (m *CostModel) Advise(ctx context.Context, w *pushpull.Workload) map[string]string {
+	ranks := m.Ranks
+	if ranks < 2 {
+		ranks = 2
+	}
+	advice := make(map[string]string, len(advisedAlgorithms))
+	for algo, pair := range advisedAlgorithms {
+		push, err := pushpull.Run(ctx, w, pair[0], pushpull.WithRanks(ranks))
+		if err != nil {
+			continue
+		}
+		pull, err := pushpull.Run(ctx, w, pair[1], pushpull.WithRanks(ranks))
+		if err != nil {
+			continue
+		}
+		// Stats.Elapsed of a dist run is the simulated makespan — the
+		// §6.3 bill, not wall time.
+		if push.Stats.Elapsed <= pull.Stats.Elapsed {
+			advice[algo] = "push"
+		} else {
+			advice[algo] = "pull"
+		}
+	}
+	return advice
+}

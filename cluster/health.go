@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Health tracks worker liveness: a background loop probes every worker's
+// GET /healthz with a timeout and marks it up or down. The router
+// consults it to order routing candidates (alive replicas first) and to
+// pick replica sets for new uploads; the transition counter feeds
+// /stats.
+type Health struct {
+	workers []string
+	client  *http.Client
+	timeout time.Duration
+
+	mu sync.RWMutex
+	up map[string]bool
+
+	transitions atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewHealth builds a checker over the worker base URLs. Every worker
+// starts optimistically up, so requests flow before the first probe
+// completes; call Check for a synchronous first pass.
+func NewHealth(workers []string, client *http.Client, timeout time.Duration) *Health {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	up := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		up[w] = true
+	}
+	return &Health{
+		workers: workers,
+		client:  client,
+		timeout: timeout,
+		up:      up,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Check probes every worker once, concurrently, and updates the up/down
+// map.
+func (h *Health) Check(ctx context.Context) {
+	var wg sync.WaitGroup
+	results := make([]bool, len(h.workers))
+	for i, w := range h.workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			results[i] = h.probe(ctx, w)
+		}(i, w)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, w := range h.workers {
+		if h.up[w] != results[i] {
+			h.transitions.Add(1)
+			h.up[w] = results[i]
+		}
+	}
+}
+
+func (h *Health) probe(ctx context.Context, worker string) bool {
+	ctx, cancel := context.WithTimeout(ctx, h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Start launches the background probe loop at the given interval;
+// interval ≤ 0 disables it (Check can still be called manually). Stop
+// terminates the loop.
+func (h *Health) Start(interval time.Duration) {
+	if interval <= 0 {
+		close(h.done)
+		return
+	}
+	go func() {
+		defer close(h.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-ticker.C:
+				h.Check(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit.
+func (h *Health) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// IsUp reports the last probed state of one worker (unknown workers are
+// down).
+func (h *Health) IsUp(worker string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.up[worker]
+}
+
+// Up lists the workers currently marked up, in configuration order.
+func (h *Health) Up() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.workers))
+	for _, w := range h.workers {
+		if h.up[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Transitions counts up↔down flips observed since start.
+func (h *Health) Transitions() uint64 { return h.transitions.Load() }
+
+// MarkDown forces a worker down immediately (the router calls it when a
+// request-path connection error beats the next health probe to the
+// verdict).
+func (h *Health) MarkDown(worker string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.up[worker] {
+		h.transitions.Add(1)
+		h.up[worker] = false
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"pushpull/serve"
+)
+
+// workerResponse is one proxied worker reply: the status, the full body,
+// and the headers the router may relay.
+type workerResponse struct {
+	status int
+	body   []byte
+	header http.Header
+}
+
+// ok reports a 2xx status.
+func (r *workerResponse) ok() bool { return r.status >= 200 && r.status < 300 }
+
+// proxy is the router's client for one worker fleet: it shapes the
+// worker-facing requests (replication epochs, content types) and reads
+// replies whole, so the router's handlers deal in values, not streams.
+type proxy struct {
+	client *http.Client
+}
+
+// do issues one request and slurps the reply. A non-nil error means the
+// worker was unreachable (connection refused/reset, timeout) — the
+// failover signal — while HTTP-level failures come back as statuses.
+func (p *proxy) do(ctx context.Context, method, url string, body []byte, epoch uint64) (*workerResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building %s %s: %w", method, url, err)
+	}
+	if epoch > 0 {
+		req.Header.Set(serve.EpochHeader, strconv.FormatUint(epoch, 10))
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading %s %s reply: %w", method, url, err)
+	}
+	return &workerResponse{status: resp.StatusCode, body: b, header: resp.Header}, nil
+}
+
+// putGraph replicates an upload to one worker.
+func (p *proxy) putGraph(ctx context.Context, worker, name string, body []byte, epoch uint64) (*workerResponse, error) {
+	return p.do(ctx, http.MethodPut, worker+"/graphs/"+pathEscape(name), body, epoch)
+}
+
+// deleteGraph propagates a delete (or a placement-change cleanup) to one
+// worker.
+func (p *proxy) deleteGraph(ctx context.Context, worker, name string, epoch uint64) (*workerResponse, error) {
+	return p.do(ctx, http.MethodDelete, worker+"/graphs/"+pathEscape(name), nil, epoch)
+}
+
+// run forwards a POST /run body to one worker.
+func (p *proxy) run(ctx context.Context, worker string, body []byte) (*workerResponse, error) {
+	return p.do(ctx, http.MethodPost, worker+"/run", body, 0)
+}
+
+// stats fetches one worker's GET /stats body.
+func (p *proxy) stats(ctx context.Context, worker string) (*workerResponse, error) {
+	return p.do(ctx, http.MethodGet, worker+"/stats", nil, 0)
+}
+
+// pathEscape keeps hostile graph names (slashes, dots, percent escapes)
+// one opaque path segment on the worker side, mirroring what the
+// worker's own mux decodes via PathValue.
+func pathEscape(name string) string { return url.PathEscape(name) }

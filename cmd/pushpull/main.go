@@ -8,6 +8,7 @@
 //
 //	pushpull [flags] run <algorithm>   # one engine run via the facade
 //	pushpull [flags] serve             # HTTP serving front over an Engine
+//	pushpull [flags] route             # cluster router over serve workers
 //	pushpull [flags] <experiment-id>|all|list
 //
 //	pushpull run pr -dir pull          # PageRank, pulling
@@ -17,6 +18,7 @@
 //	pushpull run dist-pr-mp -ranks 32  # §6.3 simulated cluster
 //	pushpull serve -addr :8080 -graphs rmat,rca
 //	pushpull serve -shards 4 -cache-ttl 5m -store /var/lib/pushpull
+//	pushpull route -addr :8090 -workers http://h1:8080,http://h2:8080
 //	pushpull table3                    # PR and TC push-vs-pull times
 //	pushpull all                       # every experiment, paper order
 //
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	"pushpull"
+	"pushpull/cluster"
 	"pushpull/internal/harness"
 	"pushpull/serve"
 )
@@ -65,6 +68,9 @@ func main() {
 		return
 	case "serve":
 		serveEngine(flag.Args()[1:], *scale, *seed)
+		return
+	case "route":
+		routeCluster(flag.Args()[1:])
 		return
 	case "list":
 		printCatalog(os.Stdout)
@@ -270,9 +276,11 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	shards := fs.Int("shards", 1, "shard executors: graphs are partitioned across independent admission queues")
 	store := fs.String("store", "", "persist uploaded graphs to this directory (restored on restart)")
 	graphs := fs.String("graphs", "", "comma-separated suite graph ids to preload (e.g. rmat,rca; weights attached)")
+	maxQueue := fs.Int("max-queue", 1024, "per-shard admission-queue bound: excess runs are shed with 429 + Retry-After (0 = queue unboundedly)")
+	maxUpload := fs.Int64("max-upload", serve.MaxGraphBytes, "PUT /graphs body limit in bytes; larger uploads get 413")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-store dir] [-graphs ids]\n")
+		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-max-queue n] [-max-upload bytes] [-store dir] [-graphs ids]\n")
 		os.Exit(2)
 	}
 	// Negative values would otherwise silently mean "unbounded" or
@@ -293,6 +301,12 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	if *shards < 0 {
 		badFlag("shards", "1 means a single executor")
 	}
+	if *maxQueue < 0 {
+		badFlag("max-queue", "0 means an unbounded queue")
+	}
+	if *maxUpload < 0 {
+		badFlag("max-upload", "bytes; the default is 1 GiB")
+	}
 
 	engOpts := []pushpull.EngineOption{pushpull.WithResultCache(*cache)}
 	if *workers > 0 {
@@ -303,6 +317,9 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	}
 	if *shards > 1 {
 		engOpts = append(engOpts, pushpull.WithShards(*shards))
+	}
+	if *maxQueue > 0 {
+		engOpts = append(engOpts, pushpull.WithQueueLimit(*maxQueue))
 	}
 	eng := pushpull.NewEngine(engOpts...)
 
@@ -344,7 +361,7 @@ func serveEngine(args []string, scale float64, seed uint64) {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(eng),
+		Handler: serve.New(eng, serve.WithMaxUpload(*maxUpload)),
 		// A long-lived front must shed stalled clients: without these a
 		// trickled header or never-finished upload pins its goroutine
 		// and connection forever.
@@ -368,6 +385,76 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "pushpull: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("caught %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// routeCluster starts the cluster tier: a router process speaking the
+// serve API, fanning requests out over a fleet of `pushpull serve`
+// worker base URLs with content-hash rendezvous placement, R-way upload
+// replication, health-checked failover and epoch-fenced invalidation.
+func routeCluster(args []string) {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
+	workersCSV := fs.String("workers", "", "comma-separated worker base URLs (required, e.g. http://h1:8080,http://h2:8080)")
+	replicas := fs.Int("replicas", 2, "replication factor R: each uploaded graph lives on R workers")
+	retry := fs.Int("retry", 3, "extra run attempts after the first, rotating through the graph's replicas")
+	retryBase := fs.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt, capped at 1s)")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "background health-probe period")
+	healthTimeout := fs.Duration("health-timeout", time.Second, "per-probe timeout")
+	advisor := fs.String("direction-advisor", "off", "§6.3 cost-model advice per uploaded graph: off, annotate (X-Cluster-Direction-Advice header), force (rewrite auto directions)")
+	maxUpload := fs.Int64("max-upload", serve.MaxGraphBytes, "PUT /graphs body limit in bytes; larger uploads get 413")
+	fs.Parse(args)
+	if fs.NArg() > 0 || *workersCSV == "" {
+		fmt.Fprintf(os.Stderr, "usage: pushpull route -workers url1,url2,... [-addr host:port] [-replicas r] [-retry n] [-retry-base d] [-health-interval d] [-health-timeout d] [-direction-advisor off|annotate|force] [-max-upload bytes]\n")
+		os.Exit(2)
+	}
+	var workers []string
+	for _, w := range strings.Split(*workersCSV, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	rt, err := cluster.New(cluster.Config{
+		Workers:        workers,
+		Replicas:       *replicas,
+		Retries:        *retry,
+		RetryBase:      *retryBase,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		Advisor:        *advisor,
+		MaxUpload:      *maxUpload,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pushpull: route: %v\n", err)
+		os.Exit(2)
+	}
+	rt.Start(context.Background())
+	defer rt.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("routing over %d worker(s) on http://%s (replicas=%d retry=%d advisor=%s)\n",
+		len(workers), *addr, *replicas, *retry, *advisor)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pushpull: route: %v\n", err)
 		os.Exit(1)
 	case sig := <-sigc:
 		fmt.Printf("caught %v, draining\n", sig)
@@ -421,11 +508,12 @@ func printCatalog(w io.Writer) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | serve | <experiment-id>|all|list
+	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | serve | route | <experiment-id>|all|list
 
 Runs any push/pull algorithm through the unified engine API, serves the
-engine over HTTP (pushpull serve), or regenerates the tables and figures
-of "To Push or To Pull" (HPDC'17).
+engine over HTTP (pushpull serve), routes a cluster of serve workers
+(pushpull route), or regenerates the tables and figures of "To Push or
+To Pull" (HPDC'17).
 
 `)
 	printCatalog(os.Stderr)

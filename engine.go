@@ -92,6 +92,7 @@ type engineConfig struct {
 	cacheCap     int
 	cacheTTL     time.Duration
 	shards       int
+	queueLimit   int
 	singleFlight bool
 }
 
@@ -128,6 +129,19 @@ func WithShards(n int) EngineOption {
 	return func(c *engineConfig) { c.shards = n }
 }
 
+// WithQueueLimit bounds each shard's admission queue to n waiting runs:
+// a run arriving while all workers are busy and n runs already wait fails
+// fast with ErrOverloaded instead of queueing (the rejection is counted
+// in EngineStats.Rejected). n ≤ 0 — the default — queues unboundedly.
+// Only meaningful on a bounded Engine (WithWorkers > 0); an unbounded
+// shard never queues. This is the truthful overload signal a serving
+// front needs: under sustained overload an unbounded queue grows without
+// limit while every client times out, whereas a bounded one sheds load
+// the moment it cannot serve it.
+func WithQueueLimit(n int) EngineOption {
+	return func(c *engineConfig) { c.queueLimit = n }
+}
+
 // WithSingleFlight toggles coalescing of concurrent identical requests
 // (same workload content, algorithm, and cacheable options fingerprint)
 // onto one underlying run. NewEngine enables it; the default Engine
@@ -151,7 +165,7 @@ func NewEngine(opts ...EngineOption) *Engine {
 		opt(&cfg)
 	}
 	e := &Engine{
-		shards:       newShards(cfg.shards, cfg.workers),
+		shards:       newShards(cfg.shards, cfg.workers, cfg.queueLimit),
 		singleFlight: cfg.singleFlight,
 		inflight:     map[string]*flight{},
 		workloads:    map[string]*Workload{},
@@ -366,6 +380,9 @@ type ShardStats struct {
 	// queue; QueueWait is their cumulative wait.
 	QueuedRuns uint64
 	QueueWait  time.Duration
+	// Rejected counts runs shed with ErrOverloaded because the queue
+	// already held WithQueueLimit waiters.
+	Rejected uint64
 }
 
 // EngineStats is a point-in-time snapshot of an Engine's serving
@@ -389,9 +406,11 @@ type EngineStats struct {
 	// CacheEntries is the current number of cached reports.
 	CacheEntries int
 	// QueuedRuns counts runs that waited in any admission queue;
-	// QueueWait is their cumulative wait. Both aggregate Shards.
+	// QueueWait is their cumulative wait. Rejected counts runs shed with
+	// ErrOverloaded under WithQueueLimit. All three aggregate Shards.
 	QueuedRuns uint64
 	QueueWait  time.Duration
+	Rejected   uint64
 	// Shards breaks the execution telemetry down per shard executor.
 	Shards []ShardStats
 }
@@ -413,10 +432,12 @@ func (e *Engine) Stats() EngineStats {
 			Runs:       sh.runs.Load(),
 			QueuedRuns: sh.queuedRuns.Load(),
 			QueueWait:  time.Duration(sh.queueWaitNS.Load()),
+			Rejected:   sh.rejected.Load(),
 		}
 		s.Shards[i] = ss
 		s.QueuedRuns += ss.QueuedRuns
 		s.QueueWait += ss.QueueWait
+		s.Rejected += ss.Rejected
 	}
 	if e.cache != nil {
 		e.cacheMu.Lock()

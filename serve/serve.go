@@ -35,23 +35,81 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"pushpull"
 )
 
-// MaxGraphBytes bounds a PUT /graphs upload body.
+// MaxGraphBytes is the default bound on a PUT /graphs upload body
+// (override with WithMaxUpload).
 const MaxGraphBytes = 1 << 30
+
+// EpochHeader is the replication-epoch header a cluster router stamps on
+// the PUT/DELETE mutations it fans out to worker replicas. A worker
+// records the epoch per graph name and rejects any mutation carrying an
+// epoch no newer than the recorded one with 409 Conflict — so a delayed
+// or retried replication write can never overwrite (or resurrect) the
+// content of a newer one, and every replica converges on the router's
+// latest mutation. Requests without the header (direct clients) bypass
+// the guard entirely.
+const EpochHeader = "X-Cluster-Epoch"
 
 // Server is an http.Handler serving one Engine.
 type Server struct {
 	eng *pushpull.Engine
 	mux *http.ServeMux
+
+	// maxUpload bounds PUT /graphs bodies; exceeding it is a 413.
+	maxUpload int64
+	// retryAfter is the Retry-After hint attached to 429 responses when
+	// the engine sheds a run with ErrOverloaded.
+	retryAfter time.Duration
+
+	// epochMu guards epochs, the per-graph replication epochs of the
+	// EpochHeader guard. It is held across the engine mutation of an
+	// epoch-carrying request so two replication writes cannot interleave
+	// check and apply.
+	epochMu sync.Mutex
+	epochs  map[string]uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxUpload bounds PUT /graphs request bodies to n bytes (default
+// MaxGraphBytes); a larger upload is refused with 413 before it can
+// exhaust the worker's memory. n ≤ 0 keeps the default.
+func WithMaxUpload(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxUpload = n
+		}
+	}
+}
+
+// WithRetryAfter sets the Retry-After hint on 429 responses (default one
+// second).
+func WithRetryAfter(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.retryAfter = d
+		}
+	}
 }
 
 // New builds a Server over eng.
-func New(eng *pushpull.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+func New(eng *pushpull.Engine, opts ...Option) *Server {
+	s := &Server{
+		eng:        eng,
+		mux:        http.NewServeMux(),
+		maxUpload:  MaxGraphBytes,
+		retryAfter: time.Second,
+		epochs:     map[string]uint64{},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /algorithms", s.algorithms)
 	s.mux.HandleFunc("GET /graphs", s.graphs)
@@ -151,6 +209,7 @@ type ShardStats struct {
 	Runs        uint64 `json:"runs"`
 	QueuedRuns  uint64 `json:"queued_runs"`
 	QueueWaitNS int64  `json:"queue_wait_ns"`
+	Rejected    uint64 `json:"rejected"`
 }
 
 // EngineStats is the GET /stats body. QueuedRuns/QueueWaitNS aggregate
@@ -164,6 +223,7 @@ type EngineStats struct {
 	CacheEntries int          `json:"cache_entries"`
 	QueuedRuns   uint64       `json:"queued_runs"`
 	QueueWaitNS  int64        `json:"queue_wait_ns"`
+	Rejected     uint64       `json:"rejected"`
 	Graphs       int          `json:"graphs"`
 	Shards       []ShardStats `json:"shards"`
 }
@@ -204,11 +264,32 @@ func (s *Server) graphs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body := http.MaxBytesReader(w, r.Body, MaxGraphBytes)
+	epoch, hasEpoch, err := epochFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
 	wl, err := pushpull.ReadWorkload(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds the server's %d-byte graph limit; split the graph or raise -max-upload", s.maxUpload))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing edge list: %w", err))
 		return
+	}
+	if hasEpoch {
+		s.epochMu.Lock()
+		defer s.epochMu.Unlock()
+		if cur := s.epochs[name]; epoch <= cur {
+			w.Header().Set(EpochHeader, strconv.FormatUint(cur, 10))
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("stale cluster epoch %d for graph %q (current %d)", epoch, name, cur))
+			return
+		}
 	}
 	if err := s.eng.RegisterWorkload(name, wl); err != nil {
 		status := http.StatusBadRequest
@@ -220,11 +301,33 @@ func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	if hasEpoch {
+		s.epochs[name] = epoch
+		w.Header().Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	}
 	writeJSON(w, http.StatusCreated, graphInfo(name, wl))
 }
 
 func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	epoch, hasEpoch, err := epochFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if hasEpoch {
+		s.epochMu.Lock()
+		defer s.epochMu.Unlock()
+		if cur := s.epochs[name]; epoch <= cur {
+			w.Header().Set(EpochHeader, strconv.FormatUint(cur, 10))
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("stale cluster epoch %d for graph %q (current %d)", epoch, name, cur))
+			return
+		}
+		// Record the deletion epoch whether or not the name is bound, so
+		// a delayed replication PUT from before this delete is fenced.
+		s.epochs[name] = epoch
+	}
 	ok, err := s.eng.DropWorkload(name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -235,6 +338,20 @@ func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// epochFrom parses the optional EpochHeader of a cluster-replicated
+// mutation.
+func epochFrom(r *http.Request) (epoch uint64, ok bool, err error) {
+	h := r.Header.Get(EpochHeader)
+	if h == "" {
+		return 0, false, nil
+	}
+	epoch, err = strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s header %q: %w", EpochHeader, h, err)
+	}
+	return epoch, true, nil
 }
 
 func (s *Server) run(w http.ResponseWriter, r *http.Request) {
@@ -272,6 +389,14 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.eng.Run(ctx, wl, req.Algorithm, opts...)
 	if err != nil {
+		if errors.Is(err, pushpull.ErrOverloaded) {
+			// The shard shed this run instead of queueing it: tell the
+			// client (or the cluster router, which fails over on 429)
+			// when to come back rather than letting it queue forever.
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter.Round(time.Second)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -289,6 +414,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: es.CacheEntries,
 		QueuedRuns:   es.QueuedRuns,
 		QueueWaitNS:  int64(es.QueueWait),
+		Rejected:     es.Rejected,
 		Graphs:       len(s.eng.WorkloadNames()),
 		Shards:       make([]ShardStats, len(es.Shards)),
 	}
@@ -298,6 +424,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			Runs:        sh.Runs,
 			QueuedRuns:  sh.QueuedRuns,
 			QueueWaitNS: int64(sh.QueueWait),
+			Rejected:    sh.Rejected,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

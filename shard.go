@@ -21,6 +21,7 @@ package pushpull
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -28,23 +29,34 @@ import (
 	"time"
 )
 
+// ErrOverloaded: a run was rejected because the owning shard's admission
+// queue already holds WithQueueLimit waiters. It is the engine's truthful
+// overload signal — serving fronts map it to 429 + Retry-After so a
+// cluster router can back off or fail over instead of queueing forever.
+var ErrOverloaded = errors.New("pushpull: shard admission queue full")
+
 // shard is one executor: an admission queue plus its telemetry. A nil sem
 // admits unboundedly (the default Engine).
 type shard struct {
 	sem chan struct{}
+	// queueLimit bounds the number of runs waiting on sem; ≤ 0 queues
+	// unboundedly. waiting tracks the current queue depth.
+	queueLimit int
+	waiting    atomic.Int64
 
 	runs        atomic.Uint64
 	queuedRuns  atomic.Uint64
 	queueWaitNS atomic.Int64
+	rejected    atomic.Uint64
 }
 
-func newShards(n, workers int) []*shard {
+func newShards(n, workers, queueLimit int) []*shard {
 	if n < 1 {
 		n = 1
 	}
 	shards := make([]*shard, n)
 	for i := range shards {
-		sh := &shard{}
+		sh := &shard{queueLimit: queueLimit}
 		if workers > 0 {
 			sh.sem = make(chan struct{}, workers)
 		}
@@ -54,7 +66,9 @@ func newShards(n, workers int) []*shard {
 }
 
 // admit blocks until a worker slot frees up on this shard (or ctx fires
-// while queueing), returning how long the run waited.
+// while queueing), returning how long the run waited. When the shard has
+// a queue limit and that many runs are already waiting, admit fails fast
+// with ErrOverloaded instead of joining the queue.
 func (s *shard) admit(ctx context.Context) (time.Duration, error) {
 	if s.sem == nil {
 		return 0, nil
@@ -63,6 +77,14 @@ func (s *shard) admit(ctx context.Context) (time.Duration, error) {
 	case s.sem <- struct{}{}:
 		return 0, nil
 	default:
+	}
+	if s.queueLimit > 0 {
+		if s.waiting.Add(1) > int64(s.queueLimit) {
+			s.waiting.Add(-1)
+			s.rejected.Add(1)
+			return 0, fmt.Errorf("%w (%d queued)", ErrOverloaded, s.queueLimit)
+		}
+		defer s.waiting.Add(-1)
 	}
 	s.queuedRuns.Add(1)
 	start := time.Now()
@@ -97,9 +119,19 @@ func (e *Engine) shardFor(w *Workload, cfg *Config) *shard {
 	if cfg.PartitionAware {
 		key = fmt.Sprintf("%s|pa=%d", key, cfg.partitions(w))
 	}
-	h := fnv.New32a()
+	return e.shards[int(PlacementHash(key)%uint64(len(e.shards)))]
+}
+
+// PlacementHash is the deterministic digest (FNV-1a, 64-bit) behind every
+// placement decision in the system: the Engine places workloads on shard
+// executors by PlacementHash(content ID) mod shards, and the cluster
+// tier's rendezvous placer (cluster.Placer) scores workers with
+// PlacementHash(content ID + worker) — so in-process and cross-process
+// placement agree on one hash and stay stable across restarts.
+func PlacementHash(key string) uint64 {
+	h := fnv.New64a()
 	io.WriteString(h, key)
-	return e.shards[int(h.Sum32()%uint32(len(e.shards)))]
+	return h.Sum64()
 }
 
 // ---- single-flight ----

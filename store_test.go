@@ -8,9 +8,12 @@ package pushpull_test
 // propagate.
 
 import (
+	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"pushpull"
@@ -206,5 +209,81 @@ func TestEngineStoreWriteThrough(t *testing.T) {
 	// Both are registered in memory regardless.
 	if got := eng.WorkloadNames(); len(got) != 2 {
 		t.Errorf("registry = %v, want both graphs", got)
+	}
+}
+
+// TestDiskStoreConcurrentPutDelete hammers one name with interleaved
+// Put/Delete/Get from many goroutines: no operation may error (Delete is
+// idempotent, Put is atomic tmp+rename), and a concurrent Get must see
+// either absence or one COMPLETE stored workload — never a torn file.
+func TestDiskStoreConcurrentPutDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := pushpull.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := pushpull.NewWorkload(undirectedGraph(t, 60, 61))
+	w2 := pushpull.NewWorkload(undirectedGraph(t, 80, 67))
+	valid := map[string]bool{w1.ID(): true, w2.ID(): true}
+
+	const goroutines, opsEach = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if err := s.Put("contended", w1); err != nil {
+						t.Errorf("Put w1: %v", err)
+					}
+				case 1:
+					if err := s.Put("contended", w2); err != nil {
+						t.Errorf("Put w2: %v", err)
+					}
+				case 2:
+					if err := s.Delete("contended"); err != nil {
+						t.Errorf("Delete: %v", err)
+					}
+				default:
+					got, err := s.Get("contended")
+					switch {
+					case err == nil:
+						if !valid[got.ID()] {
+							t.Errorf("Get returned a workload that was never stored: %s", got.ID())
+						}
+					case errors.Is(err, fs.ErrNotExist):
+						// Deleted at read time — legal under this interleaving.
+					default:
+						t.Errorf("Get observed a torn or corrupt file: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The store is still fully functional and the directory holds no
+	// leaked temp files from the churn.
+	if err := s.Put("contended", w1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("contended")
+	if err != nil || got.ID() != w1.ID() {
+		t.Fatalf("final round-trip: %v, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".put-") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+	names, err := s.Names()
+	if err != nil || len(names) != 1 || names[0] != "contended" {
+		t.Fatalf("Names() after churn = %v, %v", names, err)
 	}
 }
