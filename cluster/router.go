@@ -56,6 +56,11 @@ type Config struct {
 	// 1s).
 	HealthInterval time.Duration
 	HealthTimeout  time.Duration
+	// MutateTimeout bounds one replicated mutation's whole fan-out
+	// (default 30s). Mutations serialize on the router's mutation lock,
+	// so without a bound a single hung worker would stall every later
+	// PUT/DELETE behind it indefinitely.
+	MutateTimeout time.Duration
 	// Advisor is the CostModel mode: AdvisorOff (default), AdvisorAnnotate
 	// or AdvisorForce. AdvisorRanks sets the simulated cluster size of
 	// the §6.3 bills (0: the worker count).
@@ -94,6 +99,7 @@ type Router struct {
 
 	routed, retried, failedOver atomic.Uint64
 	failed, degraded            atomic.Uint64
+	replicasCapped              atomic.Uint64
 }
 
 // New builds a Router over cfg.Workers. Call Start to begin health
@@ -141,6 +147,9 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.HealthTimeout <= 0 {
 		cfg.HealthTimeout = time.Second
+	}
+	if cfg.MutateTimeout <= 0 {
+		cfg.MutateTimeout = 30 * time.Second
 	}
 	if cfg.MaxUpload <= 0 {
 		cfg.MaxUpload = serve.MaxGraphBytes
@@ -256,6 +265,12 @@ func (rt *Router) putGraph(w http.ResponseWriter, r *http.Request) {
 		advice = rt.cost.Advise(r.Context(), wl)
 	}
 
+	// The fan-out below runs under the mutation lock by design (the
+	// catalog must agree with what the fleet converged on), so bound its
+	// duration: one hung worker must not stall every later mutation.
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.MutateTimeout)
+	defer cancel()
+
 	rt.mutMu.Lock()
 	defer rt.mutMu.Unlock()
 	up := rt.health.Up()
@@ -267,9 +282,16 @@ func (rt *Router) putGraph(w http.ResponseWriter, r *http.Request) {
 	// result caches and the engine's in-process shards key on — so a
 	// graph's replica set survives router restarts and renames.
 	replicas := rt.placer.Place(id, up)
+	if len(replicas) < rt.cfg.Replicas {
+		// Fewer live workers than the requested replication factor: the
+		// upload still lands, but under-replicated. Surfaced in /stats
+		// (replicas_capped) and warned about at boot by `pushpull route`.
+		rt.replicasCapped.Add(1)
+	}
 	epoch := rt.catalog.NextEpoch()
 
-	acks := rt.fanPut(r.Context(), replicas, name, body, epoch)
+	//pushpull:allow lockheld mutation fan-outs serialize on mutMu by design; bounded by MutateTimeout
+	acks := rt.fanPut(ctx, replicas, name, body, epoch)
 	acked := make([]string, 0, len(replicas))
 	var firstErr error
 	for i, wkr := range replicas {
@@ -299,7 +321,8 @@ func (rt *Router) putGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, wkr := range old.Replicas {
 			if !inNew[wkr] {
-				rt.proxy.deleteGraph(r.Context(), wkr, name, epoch)
+				//pushpull:allow lockheld ex-replica cleanup rides the serialized mutation; bounded by MutateTimeout
+				rt.proxy.deleteGraph(ctx, wkr, name, epoch)
 			}
 		}
 	}
@@ -338,6 +361,8 @@ func (rt *Router) fanPut(ctx context.Context, targets []string, name string, bod
 
 func (rt *Router) deleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.MutateTimeout)
+	defer cancel()
 	rt.mutMu.Lock()
 	defer rt.mutMu.Unlock()
 	pl, ok := rt.catalog.Get(name)
@@ -349,7 +374,8 @@ func (rt *Router) deleteGraph(w http.ResponseWriter, r *http.Request) {
 	for _, wkr := range pl.Replicas {
 		// Best-effort: a down replica keeps its copy but the epoch fence
 		// plus the catalog removal stop it from ever being routed to.
-		if resp, err := rt.proxy.deleteGraph(r.Context(), wkr, name, epoch); err != nil {
+		//pushpull:allow lockheld delete fan-out serializes on mutMu by design; bounded by MutateTimeout
+		if resp, err := rt.proxy.deleteGraph(ctx, wkr, name, epoch); err != nil {
 			rt.health.MarkDown(wkr)
 		} else if !resp.ok() && resp.status != http.StatusNotFound {
 			rt.degraded.Add(1)
@@ -475,11 +501,14 @@ type RouterStats struct {
 	// ultimately served by a non-primary replica; Failed counts requests
 	// no replica could serve; ReplicasDegraded counts mutations that
 	// reached fewer replicas than placed.
-	Routed            uint64         `json:"routed"`
-	Retried           uint64         `json:"retried"`
-	FailedOver        uint64         `json:"failed_over"`
-	Failed            uint64         `json:"failed"`
-	ReplicasDegraded  uint64         `json:"replicas_degraded"`
+	Routed           uint64 `json:"routed"`
+	Retried          uint64 `json:"retried"`
+	FailedOver       uint64 `json:"failed_over"`
+	Failed           uint64 `json:"failed"`
+	ReplicasDegraded uint64 `json:"replicas_degraded"`
+	// ReplicasCapped counts uploads placed on fewer replicas than the
+	// configured factor because not enough workers were up.
+	ReplicasCapped    uint64         `json:"replicas_capped"`
 	HealthTransitions uint64         `json:"health_transitions"`
 	Graphs            int            `json:"graphs"`
 	Workers           []WorkerStatus `json:"workers"`
@@ -492,6 +521,7 @@ func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 		FailedOver:        rt.failedOver.Load(),
 		Failed:            rt.failed.Load(),
 		ReplicasDegraded:  rt.degraded.Load(),
+		ReplicasCapped:    rt.replicasCapped.Load(),
 		HealthTransitions: rt.health.Transitions(),
 		Graphs:            rt.catalog.Len(),
 		Workers:           make([]WorkerStatus, len(rt.cfg.Workers)),

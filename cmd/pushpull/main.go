@@ -307,6 +307,10 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	if *maxUpload < 0 {
 		badFlag("max-upload", "bytes; the default is 1 GiB")
 	}
+	if *cacheTTL > 0 && *cache == 0 {
+		fmt.Fprintf(os.Stderr, "pushpull: serve: -cache-ttl %v has no effect with -cache 0 (the result cache is disabled)\n", *cacheTTL)
+		os.Exit(2)
+	}
 
 	engOpts := []pushpull.EngineOption{pushpull.WithResultCache(*cache)}
 	if *workers > 0 {
@@ -412,9 +416,10 @@ func routeCluster(args []string) {
 	healthTimeout := fs.Duration("health-timeout", time.Second, "per-probe timeout")
 	advisor := fs.String("direction-advisor", "off", "§6.3 cost-model advice per uploaded graph: off, annotate (X-Cluster-Direction-Advice header), force (rewrite auto directions)")
 	maxUpload := fs.Int64("max-upload", serve.MaxGraphBytes, "PUT /graphs body limit in bytes; larger uploads get 413")
+	mutateTimeout := fs.Duration("mutate-timeout", 0, "per-worker deadline for upload/delete fan-outs (0 = the 30s default)")
 	fs.Parse(args)
 	if fs.NArg() > 0 || *workersCSV == "" {
-		fmt.Fprintf(os.Stderr, "usage: pushpull route -workers url1,url2,... [-addr host:port] [-replicas r] [-retry n] [-retry-base d] [-health-interval d] [-health-timeout d] [-direction-advisor off|annotate|force] [-max-upload bytes]\n")
+		fmt.Fprintf(os.Stderr, "usage: pushpull route -workers url1,url2,... [-addr host:port] [-replicas r] [-retry n] [-retry-base d] [-health-interval d] [-health-timeout d] [-mutate-timeout d] [-direction-advisor off|annotate|force] [-max-upload bytes]\n")
 		os.Exit(2)
 	}
 	var workers []string
@@ -423,6 +428,40 @@ func routeCluster(args []string) {
 			workers = append(workers, w)
 		}
 	}
+	// cluster.New would quietly paper over sign errors with its defaults;
+	// a typo on the command line deserves a verdict instead.
+	badFlag := func(name, hint string) {
+		fmt.Fprintf(os.Stderr, "pushpull: route: -%s must not be negative (%s)\n", name, hint)
+		os.Exit(2)
+	}
+	if *replicas <= 0 {
+		fmt.Fprintf(os.Stderr, "pushpull: route: -replicas must be at least 1 (each graph needs a home)\n")
+		os.Exit(2)
+	}
+	if *retry < 0 {
+		badFlag("retry", "0 means a single attempt per run")
+	}
+	if *retryBase < 0 {
+		badFlag("retry-base", "0 means the 50ms default")
+	}
+	if *healthInterval < 0 {
+		badFlag("health-interval", "0 means the 2s default")
+	}
+	if *healthTimeout < 0 {
+		badFlag("health-timeout", "0 means the 1s default")
+	}
+	if *mutateTimeout < 0 {
+		badFlag("mutate-timeout", "0 means the 30s default")
+	}
+	if *maxUpload < 0 {
+		badFlag("max-upload", "bytes; the default is 1 GiB")
+	}
+	if *replicas > len(workers) {
+		// Not fatal: the router caps R at the fleet size per upload and
+		// counts the event, so the operator can see it in /stats too.
+		fmt.Fprintf(os.Stderr, "pushpull: route: warning: -replicas %d exceeds the %d configured worker(s); replication will be capped at the fleet size (counted as replicas_capped in /stats)\n",
+			*replicas, len(workers))
+	}
 	rt, err := cluster.New(cluster.Config{
 		Workers:        workers,
 		Replicas:       *replicas,
@@ -430,6 +469,7 @@ func routeCluster(args []string) {
 		RetryBase:      *retryBase,
 		HealthInterval: *healthInterval,
 		HealthTimeout:  *healthTimeout,
+		MutateTimeout:  *mutateTimeout,
 		Advisor:        *advisor,
 		MaxUpload:      *maxUpload,
 	})

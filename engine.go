@@ -477,6 +477,7 @@ func (e *Engine) RegisterWorkload(name string, w *Workload) error {
 		e.invalidateID(old.ID())
 	}
 	if st != nil {
+		//pushpull:allow lockheld write-through under mutMu by design: registry, cache invalidation and store must agree in mutation order
 		if err := st.Put(name, w); err != nil {
 			return fmt.Errorf("%w: put %q: %v", ErrStore, name, err)
 		}
@@ -501,6 +502,7 @@ func (e *Engine) DropWorkload(name string) (bool, error) {
 	}
 	e.invalidateID(w.ID())
 	if st != nil {
+		//pushpull:allow lockheld write-through under mutMu by design: registry, cache invalidation and store must agree in mutation order
 		if err := st.Delete(name); err != nil {
 			return true, fmt.Errorf("%w: delete %q: %v", ErrStore, name, err)
 		}
@@ -522,12 +524,14 @@ func (e *Engine) AttachStore(s GraphStore) error {
 	}
 	e.mutMu.Lock()
 	defer e.mutMu.Unlock()
+	//pushpull:allow lockheld restore-on-attach holds mutMu by design: no mutation may interleave with the store's snapshot
 	names, err := s.Names()
 	if err != nil {
 		return fmt.Errorf("%w: listing: %v", ErrStore, err)
 	}
 	restored := make(map[string]*Workload, len(names))
 	for _, name := range names {
+		//pushpull:allow lockheld restore-on-attach holds mutMu by design: no mutation may interleave with the store's snapshot
 		w, err := s.Get(name)
 		if err != nil {
 			return fmt.Errorf("%w: restore %q: %v", ErrStore, name, err)

@@ -58,9 +58,9 @@ func (o *phase1Ops) PushCombine(w, v graph.V) {
 }
 
 func (o *phase1Ops) PullCombine(v, w graph.V) {
-	o.sigma[v] += o.sigma[w]
-	if o.level[v] == -1 {
-		o.level[v] = o.level[w] + 1
+	o.sigma[v] += o.sigma[w] //pushpull:allow atomicmix pull rounds write v from its owner only; atomics are the push rounds' (§4.5 phase separation)
+	if o.level[v] == -1 {    //pushpull:allow atomicmix pull rounds write v from its owner only; atomics are the push rounds' (§4.5 phase separation)
+		o.level[v] = o.level[w] + 1 //pushpull:allow atomicmix pull rounds write v from its owner only; atomics are the push rounds' (§4.5 phase separation)
 	}
 }
 

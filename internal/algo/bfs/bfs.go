@@ -98,7 +98,7 @@ func Run(g *graph.CSR, cfg *Config, ops Ops) (rounds int, dirs []core.Direction,
 
 	cur := frontier.NewSparse(64)
 	for v := graph.V(0); v < g.NumV; v++ {
-		if cfg.Ready[v] == 0 {
+		if cfg.Ready[v] == 0 { //pushpull:allow atomicmix single-threaded seed scan before any round runs
 			cur.Add(v)
 		}
 	}
@@ -184,7 +184,7 @@ func pullRound(g *graph.CSR, cfg *Config, ops Ops, cur *frontier.Sparse, out *fr
 	sched.ParallelFor(g.N(), t, sched.Static, 0, func(w, lo, hi int) {
 		for vi := lo; vi < hi; vi++ {
 			v := graph.V(vi)
-			if cfg.Ready[v] <= 0 {
+			if cfg.Ready[v] <= 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter; push rounds' atomics never run concurrently with this
 				continue
 			}
 			for _, u := range g.Neighbors(v) {
@@ -197,8 +197,8 @@ func pullRound(g *graph.CSR, cfg *Config, ops Ops, cur *frontier.Sparse, out *fr
 					continue
 				}
 				ops.PullCombine(v, u)
-				cfg.Ready[v]--
-				if cfg.Ready[v] == 0 {
+				cfg.Ready[v]--         //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+				if cfg.Ready[v] == 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
 					out.Add(w, v)
 				}
 			}
@@ -226,9 +226,9 @@ func (o *treeOps) PushCombine(w, v graph.V) {
 }
 
 func (o *treeOps) PullCombine(v, w graph.V) {
-	if o.parent[v] == -1 {
-		o.parent[v] = int32(w)
-		o.level[v] = o.level[w] + 1
+	if o.parent[v] == -1 { //pushpull:allow atomicmix pull rounds write v from its owner only; atomics are the push rounds' (§3.8 invariant)
+		o.parent[v] = int32(w)      //pushpull:allow atomicmix pull rounds write v from its owner only
+		o.level[v] = o.level[w] + 1 //pushpull:allow atomicmix pull rounds write v from its owner only
 	}
 }
 
@@ -238,8 +238,8 @@ func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tre
 	n := g.N()
 	ops := &treeOps{parent: make([]int32, n), level: make([]int32, n)}
 	for i := range ops.parent {
-		ops.parent[i] = -1
-		ops.level[i] = -1
+		ops.parent[i] = -1 //pushpull:allow atomicmix single-threaded init before the traversal starts
+		ops.level[i] = -1  //pushpull:allow atomicmix single-threaded init before the traversal starts
 	}
 	ready := make([]int32, n)
 	for i := range ready {
@@ -247,16 +247,16 @@ func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tre
 	}
 	if n > 0 {
 		ready[root] = 0
-		ops.parent[root] = int32(root)
-		ops.level[root] = 0
+		ops.parent[root] = int32(root) //pushpull:allow atomicmix single-threaded init before the traversal starts
+		ops.level[root] = 0            //pushpull:allow atomicmix single-threaded init before the traversal starts
 	}
 	cfg := &Config{Options: opt, Ready: ready, Mode: mode}
 	_, dirs, stats := Run(g, cfg, ops)
 
 	tree := &Tree{Parent: make([]graph.V, n), Level: make([]int32, n)}
 	for i := 0; i < n; i++ {
-		tree.Parent[i] = graph.V(ops.parent[i])
-		tree.Level[i] = ops.level[i]
+		tree.Parent[i] = graph.V(ops.parent[i]) //pushpull:allow atomicmix single-threaded copy-out after every worker has joined
+		tree.Level[i] = ops.level[i]            //pushpull:allow atomicmix single-threaded copy-out after every worker has joined
 	}
 	return tree, dirs, stats
 }

@@ -173,6 +173,58 @@ func runBoman(g *graph.CSR, part graph.Partition, opt Options, dir core.Directio
 	// counts for push and pull.
 	rowLocks := make([]atomicx.SpinLock, g.N())
 
+	// Phase bodies hoisted out of the iteration loop so the steady state
+	// does not allocate; dirty is captured by reference, so the per-round
+	// reassignment below stays visible.
+	colorPhase := func(w int) { s.colorPartition(w) }
+	fixConflicts := func(w int) {
+		mark := func(loser graph.V, c int32) {
+			rowLocks[loser].Lock()
+			s.avail[loser].set(c)
+			rowLocks[loser].Unlock()
+			if s.needs.Set(loser) && dir == core.Push {
+				dirtyNext.Add(w, loser)
+			}
+		}
+		if dir == core.Push {
+			// Scan the dirty set; any thread may mark any loser.
+			lo, hi := sched.BlockRange(len(dirty), t, w)
+			for i := lo; i < hi; i++ {
+				v := dirty[i]
+				ov := part.Owner(v)
+				cv := s.colors[v]
+				for _, u := range g.Neighbors(v) {
+					if part.Owner(u) == ov || s.colors[u] != cv {
+						continue
+					}
+					conflictCount[w]++
+					// Deterministic loser: the higher id — written
+					// directly even when owned by another thread.
+					if u > v {
+						mark(u, cv) // W i in Algorithm 6
+					} else {
+						mark(v, cv)
+					}
+				}
+			}
+			return
+		}
+		// Pull: each thread scans only the border vertices it owns and
+		// only ever modifies those.
+		for _, v := range borderByOwner[w] {
+			cv := s.colors[v]
+			for _, u := range g.Neighbors(v) {
+				if part.Owner(u) == w || s.colors[u] != cv {
+					continue
+				}
+				conflictCount[w]++
+				if v > u { // v loses: mark own state only
+					mark(v, cv)
+				}
+			}
+		}
+	}
+
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		if opt.Canceled() {
 			res.Stats.Canceled = true
@@ -180,60 +232,14 @@ func runBoman(g *graph.CSR, part graph.Partition, opt Options, dir core.Directio
 		}
 		start := time.Now()
 		// Phase 1: color each partition independently.
-		pool.Run(func(w int) { s.colorPartition(w) })
+		pool.Run(colorPhase)
 		s.needs.Clear()
 
 		// Phase 2: fix_conflicts over border vertices.
 		for i := range conflictCount {
 			conflictCount[i] = 0
 		}
-		pool.Run(func(w int) {
-			mark := func(loser graph.V, c int32) {
-				rowLocks[loser].Lock()
-				s.avail[loser].set(c)
-				rowLocks[loser].Unlock()
-				if s.needs.Set(loser) && dir == core.Push {
-					dirtyNext.Add(w, loser)
-				}
-			}
-			if dir == core.Push {
-				// Scan the dirty set; any thread may mark any loser.
-				lo, hi := sched.BlockRange(len(dirty), t, w)
-				for i := lo; i < hi; i++ {
-					v := dirty[i]
-					ov := part.Owner(v)
-					cv := s.colors[v]
-					for _, u := range g.Neighbors(v) {
-						if part.Owner(u) == ov || s.colors[u] != cv {
-							continue
-						}
-						conflictCount[w]++
-						// Deterministic loser: the higher id — written
-						// directly even when owned by another thread.
-						if u > v {
-							mark(u, cv) // W i in Algorithm 6
-						} else {
-							mark(v, cv)
-						}
-					}
-				}
-				return
-			}
-			// Pull: each thread scans only the border vertices it owns and
-			// only ever modifies those.
-			for _, v := range borderByOwner[w] {
-				cv := s.colors[v]
-				for _, u := range g.Neighbors(v) {
-					if part.Owner(u) == w || s.colors[u] != cv {
-						continue
-					}
-					conflictCount[w]++
-					if v > u { // v loses: mark own state only
-						mark(v, cv)
-					}
-				}
-			}
-		})
+		pool.Run(fixConflicts)
 		res.Iterations++
 		el := time.Since(start)
 		res.Stats.Record(el)

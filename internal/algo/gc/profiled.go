@@ -56,6 +56,53 @@ func runProfiled(g *graph.CSR, part graph.Partition, opt Options, prof core.Prof
 		borderByOwner[o] = append(borderByOwner[o], v)
 	}
 	dirty := border
+	// Reused across iterations (and across the modeled "threads", which
+	// run sequentially here): the taken-color scratch set and the phase-2
+	// scan body, hoisted so the iteration loop itself allocates nothing
+	// beyond the dirty list it maintains.
+	taken := map[int32]bool{}
+	var conflicts int
+	var nextDirty []graph.V
+	scanFor := func(w int, verts []graph.V) {
+		p := prof.Probes[w]
+		p.Exec(regionFix)
+		for _, v := range verts {
+			ov := part.Owner(v)
+			p.Read(colA.Addr(int64(v)), 4)
+			cv := s.colors[v]
+			offs := g.Offsets[v]
+			p.Read(offA.Addr(int64(v)), 8)
+			for j, u := range g.Neighbors(v) {
+				p.Branch(true)
+				p.Read(adjA.Addr(offs+int64(j)), 4)
+				if part.Owner(u) == ov {
+					continue
+				}
+				p.Read(colA.Addr(int64(u)), 4) // R: other thread's color
+				if s.colors[u] != cv {
+					continue
+				}
+				conflicts++
+				if dir == core.Push {
+					loser := v
+					if u > v {
+						loser = u
+					}
+					p.Lock(availA.Addr(int64(loser)))
+					p.Write(availA.Addr(int64(loser)), 8) // W i
+					s.avail[loser].set(cv)
+					if s.needs.Set(loser) {
+						nextDirty = append(nextDirty, loser)
+					}
+				} else if v > u {
+					p.Lock(availA.Addr(int64(v)))
+					p.Write(availA.Addr(int64(v)), 8)
+					s.avail[v].set(cv)
+					s.needs.Set(v)
+				}
+			}
+		}
+	}
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		iterStart := time.Now()
@@ -64,7 +111,6 @@ func runProfiled(g *graph.CSR, part graph.Partition, opt Options, prof core.Prof
 			p := prof.Probes[w]
 			p.Exec(regionColor)
 			lo, hi := part.Range(w)
-			taken := map[int32]bool{}
 			for v := lo; v < hi; v++ {
 				p.Read(colA.Addr(int64(v)), 4)
 				p.Branch(!s.needs.Get(v))
@@ -79,6 +125,7 @@ func runProfiled(g *graph.CSR, part graph.Partition, opt Options, prof core.Prof
 					p.Read(adjA.Addr(offs+int64(j)), 4)
 					p.Read(colA.Addr(int64(u)), 4)
 					if part.Owner(u) == w && s.colors[u] >= 0 {
+						//pushpull:allow alloc taken is a reused scratch set, cleared per vertex; it only grows to one neighborhood's palette
 						taken[s.colors[u]] = true
 					}
 				}
@@ -89,49 +136,11 @@ func runProfiled(g *graph.CSR, part graph.Partition, opt Options, prof core.Prof
 		}
 		s.needs.Clear()
 
-		// Phase 2 (profiled): conflict fixing.
-		conflicts := 0
-		var nextDirty []graph.V
-		scanFor := func(w int, verts []graph.V) {
-			p := prof.Probes[w]
-			p.Exec(regionFix)
-			for _, v := range verts {
-				ov := part.Owner(v)
-				p.Read(colA.Addr(int64(v)), 4)
-				cv := s.colors[v]
-				offs := g.Offsets[v]
-				p.Read(offA.Addr(int64(v)), 8)
-				for j, u := range g.Neighbors(v) {
-					p.Branch(true)
-					p.Read(adjA.Addr(offs+int64(j)), 4)
-					if part.Owner(u) == ov {
-						continue
-					}
-					p.Read(colA.Addr(int64(u)), 4) // R: other thread's color
-					if s.colors[u] != cv {
-						continue
-					}
-					conflicts++
-					if dir == core.Push {
-						loser := v
-						if u > v {
-							loser = u
-						}
-						p.Lock(availA.Addr(int64(loser)))
-						p.Write(availA.Addr(int64(loser)), 8) // W i
-						s.avail[loser].set(cv)
-						if s.needs.Set(loser) {
-							nextDirty = append(nextDirty, loser)
-						}
-					} else if v > u {
-						p.Lock(availA.Addr(int64(v)))
-						p.Write(availA.Addr(int64(v)), 8)
-						s.avail[v].set(cv)
-						s.needs.Set(v)
-					}
-				}
-			}
-		}
+		// Phase 2 (profiled): conflict fixing. nextDirty must start nil,
+		// not truncated: dedupe below aliases its backing array into
+		// dirty, which the next round still scans.
+		conflicts = 0
+		nextDirty = nil
 		if dir == core.Push {
 			// The dirty list is scanned in deterministic block order.
 			t := part.P

@@ -139,6 +139,13 @@ func FrontierExploitProfiled(g *graph.CSR, opt Options, dir core.Direction, poli
 	progress, conflicts := colored, 0
 	candMark := frontier.NewBitmap(n)
 
+	// Round-scoped buffers hoisted out of the iteration loop and reused:
+	// their contents are copied into f and colors before each reset, so
+	// truncation never aliases live data.
+	perThread := make([][]graph.V, t)
+	var cands []graph.V
+	byID := func(i, j int) bool { return cands[i] < cands[j] }
+
 	for colored < n && res.Iterations < opt.MaxIters {
 		start = time.Now()
 		switch policy.Decide(res.Iterations, progress, conflicts, n-colored) {
@@ -162,7 +169,9 @@ func FrontierExploitProfiled(g *graph.CSR, opt Options, dir core.Direction, poli
 
 		// Candidate discovery (deterministic worker order).
 		candMark.Clear()
-		perThread := make([][]graph.V, t)
+		for w := range perThread {
+			perThread[w] = perThread[w][:0]
+		}
 		if dir == core.Push {
 			for w := 0; w < t; w++ {
 				p := prof.Probes[w]
@@ -215,13 +224,13 @@ func FrontierExploitProfiled(g *graph.CSR, opt Options, dir core.Direction, poli
 				}
 			}
 		}
-		var cands []graph.V
+		cands = cands[:0]
 		for w := 0; w < t; w++ {
 			cands = append(cands, perThread[w]...)
 		}
 		// Same canonical id order as the fast variant, so the probed
 		// coloring equals the uninstrumented one exactly.
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		sort.Slice(cands, byID)
 
 		// Deterministic conflict resolution (sequential, charged to probe 0
 		// like the MIS pass): a candidate takes the round's color cᵢ unless

@@ -70,6 +70,41 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 	perThread := frontier.NewPerThread(t)
 	candMark := frontier.NewBitmap(n)
 
+	// Round bodies hoisted out of the iteration loop so the steady state
+	// does not allocate; f is captured by reference, so each round's
+	// frontier rebuild stays visible. cands lives across rounds too —
+	// Merge resets it, reusing the backing slice.
+	var cands frontier.Sparse
+	discoverPush := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for _, u := range g.Neighbors(f[i]) {
+				if colors[u] < 0 && candMark.Set(u) { // atomic claim
+					perThread.Add(w, u)
+				}
+			}
+		}
+	}
+	discoverPull := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			if colors[v] >= 0 {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if inF.Get(u) {
+					// Only the owner marks v (the pull invariant),
+					// but the bitmap packs 64 vertices per word, so
+					// block-boundary words are shared: Set's CAS
+					// keeps the word write safe.
+					candMark.Set(v)
+					perThread.Add(w, v)
+					break
+				}
+			}
+		}
+	}
+	byID := func(i, j int) bool { return cands.Vertices()[i] < cands.Vertices()[j] }
+
 	for colored < n && res.Iterations < opt.MaxIters {
 		if opt.Canceled() {
 			res.Stats.Canceled = true
@@ -102,44 +137,15 @@ func FrontierExploit(g *graph.CSR, opt Options, dir core.Direction, policy core.
 		// access patterns (and only push needs the atomic claim).
 		candMark.Clear()
 		if dir == core.Push {
-			sched.ParallelFor(len(f), t, sched.Static, 0, func(w, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					for _, u := range g.Neighbors(f[i]) {
-						if colors[u] < 0 && candMark.Set(u) { // atomic claim
-							perThread.Add(w, u)
-						}
-					}
-				}
-			})
+			sched.ParallelFor(len(f), t, sched.Static, 0, discoverPush)
 		} else {
-			sched.ParallelFor(n, t, sched.Static, 0, func(w, lo, hi int) {
-				for vi := lo; vi < hi; vi++ {
-					v := graph.V(vi)
-					if colors[v] >= 0 {
-						continue
-					}
-					for _, u := range g.Neighbors(v) {
-						if inF.Get(u) {
-							// Only the owner marks v (the pull invariant),
-							// but the bitmap packs 64 vertices per word, so
-							// block-boundary words are shared: Set's CAS
-							// keeps the word write safe.
-							candMark.Set(v)
-							perThread.Add(w, v)
-							break
-						}
-					}
-				}
-			})
+			sched.ParallelFor(n, t, sched.Static, 0, discoverPull)
 		}
-		var cands frontier.Sparse
 		perThread.Merge(&cands)
 		// Canonical id order: the candidate *set* is deterministic, but the
 		// per-thread merge order is not (push claims race); sorting makes
 		// the winner set — and with it the iteration count — reproducible.
-		sort.Slice(cands.Vertices(), func(i, j int) bool {
-			return cands.Vertices()[i] < cands.Vertices()[j]
-		})
+		sort.Slice(cands.Vertices(), byID)
 
 		// Deterministic conflict resolution: a candidate takes the round's
 		// color cᵢ unless a neighbor — necessarily a same-round winner,

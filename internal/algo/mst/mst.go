@@ -104,6 +104,73 @@ func Boruvka(g *graph.CSR, opt Options, dir core.Direction) *Result {
 	locks := make([]atomicx.SpinLock, n)
 	parent := make([]int32, n)
 
+	// Phase bodies and the root comparator are hoisted out of the round
+	// loop so the steady state does not allocate closures; avail, roots
+	// and rootMembers are captured by reference, so each round's
+	// reassignment stays visible.
+	fmPull := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := avail[i]
+			best := &minE[f]
+			for _, v := range sv[f] {
+				ws := g.NeighborWeights(v)
+				for j, u := range g.Neighbors(v) {
+					if svFlag[u] == f {
+						continue
+					}
+					wt := float32(1)
+					if ws != nil {
+						wt = ws[j]
+					}
+					if best.better(wt, v, u) {
+						*best = minEdge{w: wt, inside: v, other: u, target: svFlag[u], valid: true}
+					}
+				}
+			}
+		}
+	}
+	fmPush := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := avail[i]
+			for _, v := range sv[f] {
+				ws := g.NeighborWeights(v)
+				for j, u := range g.Neighbors(v) {
+					tgt := svFlag[u]
+					if tgt == f {
+						continue
+					}
+					wt := float32(1)
+					if ws != nil {
+						wt = ws[j]
+					}
+					// Cross-supervertex write: serialize on the
+					// target's lock (the push conflicts of §4.7).
+					locks[tgt].Lock()
+					slot := &minE[tgt]
+					if slot.better(wt, u, v) {
+						*slot = minEdge{w: wt, inside: u, other: v, target: f, valid: true}
+					}
+					locks[tgt].Unlock()
+				}
+			}
+		}
+	}
+	var roots []int32
+	var rootMembers map[int32][]int32
+	rootsByID := func(i, j int) bool { return roots[i] < roots[j] }
+	contract := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := roots[i]
+			for _, f := range rootMembers[r] {
+				for _, v := range sv[f] {
+					svFlag[v] = r
+				}
+				sv[r] = append(sv[r], sv[f]...)
+				sv[f] = nil
+			}
+		}
+	}
+
 	for len(avail) > 1 {
 		if opt.Canceled() {
 			res.Stats.Canceled = true
@@ -118,56 +185,11 @@ func Boruvka(g *graph.CSR, opt Options, dir core.Direction) *Result {
 		}
 		if dir == core.Pull {
 			// Each supervertex scans its own edges, writes its own slot.
-			sched.ParallelFor(len(avail), t, sched.Dynamic, 8, func(w, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					f := avail[i]
-					best := &minE[f]
-					for _, v := range sv[f] {
-						ws := g.NeighborWeights(v)
-						for j, u := range g.Neighbors(v) {
-							if svFlag[u] == f {
-								continue
-							}
-							wt := float32(1)
-							if ws != nil {
-								wt = ws[j]
-							}
-							if best.better(wt, v, u) {
-								*best = minEdge{w: wt, inside: v, other: u, target: svFlag[u], valid: true}
-							}
-						}
-					}
-				}
-			})
+			sched.ParallelFor(len(avail), t, sched.Dynamic, 8, fmPull)
 		} else {
 			// Push: scanning supervertex f overrides its neighbors' slots
 			// (from g's perspective the inside endpoint is u).
-			sched.ParallelFor(len(avail), t, sched.Dynamic, 8, func(w, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					f := avail[i]
-					for _, v := range sv[f] {
-						ws := g.NeighborWeights(v)
-						for j, u := range g.Neighbors(v) {
-							tgt := svFlag[u]
-							if tgt == f {
-								continue
-							}
-							wt := float32(1)
-							if ws != nil {
-								wt = ws[j]
-							}
-							// Cross-supervertex write: serialize on the
-							// target's lock (the push conflicts of §4.7).
-							locks[tgt].Lock()
-							slot := &minE[tgt]
-							if slot.better(wt, u, v) {
-								*slot = minEdge{w: wt, inside: u, other: v, target: f, valid: true}
-							}
-							locks[tgt].Unlock()
-						}
-					}
-				}
-			})
+			sched.ParallelFor(len(avail), t, sched.Dynamic, 8, fmPush)
 		}
 		res.PhaseFM = append(res.PhaseFM, time.Since(fmStart))
 
@@ -208,22 +230,27 @@ func Boruvka(g *graph.CSR, opt Options, dir core.Direction) *Result {
 		res.PhaseBMT = append(res.PhaseBMT, time.Since(bmtStart))
 
 		// ---- Phase M: contract components into their roots ----
+		// roots must start nil, not truncated: the previous round's slice
+		// became avail, which this round still iterates.
 		mStart := time.Now()
-		rootMembers := map[int32][]int32{}
-		var roots []int32
+		rootMembers = map[int32][]int32{}
+		roots = nil
 		for _, f := range avail {
 			r := parent[f]
 			if r == f {
 				if _, ok := rootMembers[r]; !ok {
 					roots = append(roots, r)
+					//pushpull:allow alloc rootMembers is the round's contraction table; its size is the supervertex count, which halves every round
 					rootMembers[r] = nil
 				}
 				continue
 			}
 			if _, ok := rootMembers[r]; !ok {
 				roots = append(roots, r)
+				//pushpull:allow alloc rootMembers is the round's contraction table; its size is the supervertex count, which halves every round
 				rootMembers[r] = nil
 			}
+			//pushpull:allow alloc rootMembers is the round's contraction table; its size is the supervertex count, which halves every round
 			rootMembers[r] = append(rootMembers[r], f)
 			// Every non-root contributes its minimum edge to the MST.
 			e := minE[f]
@@ -231,19 +258,8 @@ func Boruvka(g *graph.CSR, opt Options, dir core.Direction) *Result {
 			res.Edges = append(res.Edges, graph.Edge{U: a, V: b, Weight: e.w})
 			res.TotalWeight += float64(e.w)
 		}
-		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-		sched.ParallelFor(len(roots), t, sched.Dynamic, 4, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				r := roots[i]
-				for _, f := range rootMembers[r] {
-					for _, v := range sv[f] {
-						svFlag[v] = r
-					}
-					sv[r] = append(sv[r], sv[f]...)
-					sv[f] = nil
-				}
-			}
-		})
+		sort.Slice(roots, rootsByID)
+		sched.ParallelFor(len(roots), t, sched.Dynamic, 4, contract)
 		avail = roots
 		res.PhaseM = append(res.PhaseM, time.Since(mStart))
 

@@ -61,6 +61,54 @@ func BoruvkaProfiled(g *graph.CSR, opt Options, dir core.Direction, prof core.Pr
 	minE := make([]minEdge, n)
 	parent := make([]int32, n)
 
+	// The scan body and root comparator are hoisted out of the round loop
+	// so the steady state does not allocate closures; roots and
+	// rootMembers are captured by reference.
+	var roots []int32
+	var rootMembers map[int32][]int32
+	rootsByID := func(i, j int) bool { return roots[i] < roots[j] }
+	scanSV := func(w int, f int32, push bool) {
+		p := prof.Probes[w]
+		for _, v := range sv[f] {
+			p.Read(offA.Addr(int64(v)), 8)
+			ws := g.NeighborWeights(v)
+			offs := g.Offsets[v]
+			for j, u := range g.Neighbors(v) {
+				p.Branch(true)
+				p.Read(adjA.Addr(offs+int64(j)), 4)
+				p.Read(svFlagA.Addr(int64(u)), 4) // R: neighbor's flag
+				tgt := svFlag[u]
+				if tgt == f {
+					continue
+				}
+				wt := float32(1)
+				if ws != nil {
+					wt = ws[j]
+					p.Read(wA.Addr(offs+int64(j)), 4)
+				}
+				if push {
+					// Cross-supervertex write: the candidate improvement
+					// serializes on the target's slot (§4.7).
+					p.Lock(minEA.Addr(int64(tgt)))
+					p.Read(minEA.Addr(int64(tgt)), 24)
+					slot := &minE[tgt]
+					if slot.better(wt, u, v) {
+						*slot = minEdge{w: wt, inside: u, other: v, target: f, valid: true}
+						p.Write(minEA.Addr(int64(tgt)), 24)
+					}
+				} else {
+					// Own slot only: read-compare-write, no lock.
+					p.Read(minEA.Addr(int64(f)), 24)
+					best := &minE[f]
+					if best.better(wt, v, u) {
+						*best = minEdge{w: wt, inside: v, other: u, target: tgt, valid: true}
+						p.Write(minEA.Addr(int64(f)), 24)
+					}
+				}
+			}
+		}
+	}
+
 	for len(avail) > 1 {
 		iterStart := time.Now()
 
@@ -68,47 +116,6 @@ func BoruvkaProfiled(g *graph.CSR, opt Options, dir core.Direction, prof core.Pr
 		fmStart := time.Now()
 		for _, f := range avail {
 			minE[f] = minEdge{}
-		}
-		scanSV := func(w int, f int32, push bool) {
-			p := prof.Probes[w]
-			for _, v := range sv[f] {
-				p.Read(offA.Addr(int64(v)), 8)
-				ws := g.NeighborWeights(v)
-				offs := g.Offsets[v]
-				for j, u := range g.Neighbors(v) {
-					p.Branch(true)
-					p.Read(adjA.Addr(offs+int64(j)), 4)
-					p.Read(svFlagA.Addr(int64(u)), 4) // R: neighbor's flag
-					tgt := svFlag[u]
-					if tgt == f {
-						continue
-					}
-					wt := float32(1)
-					if ws != nil {
-						wt = ws[j]
-						p.Read(wA.Addr(offs+int64(j)), 4)
-					}
-					if push {
-						// Cross-supervertex write: the candidate improvement
-						// serializes on the target's slot (§4.7).
-						p.Lock(minEA.Addr(int64(tgt)))
-						p.Read(minEA.Addr(int64(tgt)), 24)
-						slot := &minE[tgt]
-						if slot.better(wt, u, v) {
-							*slot = minEdge{w: wt, inside: u, other: v, target: f, valid: true}
-							p.Write(minEA.Addr(int64(tgt)), 24)
-						}
-					} else {
-						// Own slot only: read-compare-write, no lock.
-						p.Read(minEA.Addr(int64(f)), 24)
-						best := &minE[f]
-						if best.better(wt, v, u) {
-							*best = minEdge{w: wt, inside: v, other: u, target: tgt, valid: true}
-							p.Write(minEA.Addr(int64(f)), 24)
-						}
-					}
-				}
-			}
 		}
 		for w := 0; w < t; w++ {
 			prof.Probes[w].Exec(regionFM)
@@ -180,9 +187,11 @@ func BoruvkaProfiled(g *graph.CSR, opt Options, dir core.Direction, prof core.Pr
 		res.PhaseBMT = append(res.PhaseBMT, time.Since(bmtStart))
 
 		// ---- Phase M: contract components into their roots ----
+		// roots must start nil, not truncated: the previous round's slice
+		// became avail, which this round still iterates.
 		mStart := time.Now()
-		rootMembers := map[int32][]int32{}
-		var roots []int32
+		rootMembers = map[int32][]int32{}
+		roots = nil
 		for i, f := range avail {
 			p := prof.Probes[sched.OwnerOf(len(avail), t, i)]
 			p.Exec(regionM)
@@ -190,11 +199,13 @@ func BoruvkaProfiled(g *graph.CSR, opt Options, dir core.Direction, prof core.Pr
 			r := parent[f]
 			if _, ok := rootMembers[r]; !ok {
 				roots = append(roots, r)
+				//pushpull:allow alloc rootMembers is the round's contraction table; its size is the supervertex count, which halves every round
 				rootMembers[r] = nil
 			}
 			if r == f {
 				continue
 			}
+			//pushpull:allow alloc rootMembers is the round's contraction table; its size is the supervertex count, which halves every round
 			rootMembers[r] = append(rootMembers[r], f)
 			// Every non-root contributes its minimum edge to the MST.
 			p.Read(minEA.Addr(int64(f)), 24)
@@ -203,7 +214,7 @@ func BoruvkaProfiled(g *graph.CSR, opt Options, dir core.Direction, prof core.Pr
 			res.Edges = append(res.Edges, graph.Edge{U: a, V: b, Weight: e.w})
 			res.TotalWeight += float64(e.w)
 		}
-		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		sort.Slice(roots, rootsByID)
 		for w := 0; w < t; w++ {
 			p := prof.Probes[w]
 			lo, hi := sched.BlockRange(len(roots), t, w)

@@ -82,35 +82,40 @@ func PushDirected(dg *DirectedGraph, opt Options) ([]float64, core.RunStats) {
 	nextBits := make([]uint64, n)
 	base := (1 - opt.Damping) / float64(n)
 	baseBits := math.Float64bits(base)
+	// Phase bodies hoisted out of the round loop: the steady state must
+	// not allocate, and a literal in the loop allocates its captures.
+	clearNext := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nextBits[i] = baseBits
+		}
+	}
+	scatter := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			d := dg.Out.Degree(v)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			for _, u := range dg.Out.Neighbors(v) {
+				atomicx.AddFloat64(&nextBits[u], c)
+			}
+		}
+	}
+	commit := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pr[i] = math.Float64frombits(nextBits[i])
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		if opt.Canceled() {
 			stats.Canceled = true
 			break
 		}
 		start := time.Now()
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				nextBits[i] = baseBits
-			}
-		})
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				d := dg.Out.Degree(v)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				for _, u := range dg.Out.Neighbors(v) {
-					atomicx.AddFloat64(&nextBits[u], c)
-				}
-			}
-		})
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				pr[i] = math.Float64frombits(nextBits[i])
-			}
-		})
+		sched.ParallelFor(n, t, opt.Schedule, 0, clearNext)
+		sched.ParallelFor(n, t, opt.Schedule, 0, scatter)
+		sched.ParallelFor(n, t, opt.Schedule, 0, commit)
 		el := time.Since(start)
 		stats.Record(el)
 		opt.Tick(l, el)
@@ -136,26 +141,29 @@ func PullDirected(dg *DirectedGraph, opt Options) ([]float64, core.RunStats) {
 	}
 	next := make([]float64, n)
 	base := (1 - opt.Damping) / float64(n)
+	// Hoisted gather body; pr and next are captured by reference, so the
+	// per-round swap stays visible.
+	gather := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			sum := 0.0
+			for _, u := range dg.In.Neighbors(v) {
+				du := dg.Out.Degree(u) // out-degree of the in-neighbor
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			next[v] = base + opt.Damping*sum
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		if opt.Canceled() {
 			stats.Canceled = true
 			break
 		}
 		start := time.Now()
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				sum := 0.0
-				for _, u := range dg.In.Neighbors(v) {
-					du := dg.Out.Degree(u) // out-degree of the in-neighbor
-					if du == 0 {
-						continue
-					}
-					sum += pr[u] / float64(du)
-				}
-				next[v] = base + opt.Damping*sum
-			}
-		})
+		sched.ParallelFor(n, t, opt.Schedule, 0, gather)
 		pr, next = next, pr
 		el := time.Since(start)
 		stats.Record(el)

@@ -110,35 +110,41 @@ func Push(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
 	nextBits := make([]uint64, n)
 	base := (1 - opt.Damping) / float64(n)
 	baseBits := math.Float64bits(base)
+	// Phase bodies are hoisted out of the round loop: a func literal in
+	// the loop would allocate its capture record every iteration, and the
+	// steady state must not allocate.
+	clearNext := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nextBits[i] = baseBits
+		}
+	}
+	scatter := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			for _, u := range g.Neighbors(v) {
+				atomicx.AddFloat64(&nextBits[u], c)
+			}
+		}
+	}
+	commit := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pr[i] = math.Float64frombits(nextBits[i])
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		if opt.Canceled() {
 			stats.Canceled = true
 			break
 		}
 		start := time.Now()
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				nextBits[i] = baseBits
-			}
-		})
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				d := g.Degree(v)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				for _, u := range g.Neighbors(v) {
-					atomicx.AddFloat64(&nextBits[u], c)
-				}
-			}
-		})
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				pr[i] = math.Float64frombits(nextBits[i])
-			}
-		})
+		sched.ParallelFor(n, t, opt.Schedule, 0, clearNext)
+		sched.ParallelFor(n, t, opt.Schedule, 0, scatter)
+		sched.ParallelFor(n, t, opt.Schedule, 0, commit)
 		el := time.Since(start)
 		stats.Record(el)
 		opt.Tick(l, el)
@@ -163,26 +169,30 @@ func Pull(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
 	}
 	next := make([]float64, n)
 	base := (1 - opt.Damping) / float64(n)
+	// Hoisted gather body; it captures pr and next by reference, so the
+	// per-round swap below stays visible without re-allocating the
+	// closure each iteration.
+	gather := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			sum := 0.0
+			for _, u := range g.Neighbors(v) {
+				du := g.Degree(u)
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			next[v] = base + opt.Damping*sum
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		if opt.Canceled() {
 			stats.Canceled = true
 			break
 		}
 		start := time.Now()
-		sched.ParallelFor(n, t, opt.Schedule, 0, func(w, lo, hi int) {
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				sum := 0.0
-				for _, u := range g.Neighbors(v) {
-					du := g.Degree(u)
-					if du == 0 {
-						continue
-					}
-					sum += pr[u] / float64(du)
-				}
-				next[v] = base + opt.Damping*sum
-			}
-		})
+		sched.ParallelFor(n, t, opt.Schedule, 0, gather)
 		pr, next = next, pr
 		el := time.Since(start)
 		stats.Record(el)
@@ -216,48 +226,51 @@ func PushPA(pa *graph.PAGraph, opt Options) ([]float64, core.RunStats) {
 	pool := sched.NewPool(t)
 	defer pool.Close()
 	barrier := sched.NewBarrier(t)
+	// Hoisted round body — allocating the closure per round would put the
+	// allocator in the steady state.
+	round := func(w int) {
+		lo, hi := pa.Part.Range(w)
+		for i := lo; i < hi; i++ {
+			nextBits[i] = baseBits
+		}
+		barrier.Wait()
+		// Phase 1: local updates, no atomics. Only thread w writes
+		// vertices owned by w, so plain read-modify-write is safe.
+		for v := lo; v < hi; v++ {
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			for _, u := range pa.Local(v) {
+				nextBits[u] = math.Float64bits(math.Float64frombits(nextBits[u]) + c)
+			}
+		}
+		// The lightweight barrier of Algorithm 8, line 10.
+		barrier.Wait()
+		// Phase 2: remote updates with atomics.
+		for v := lo; v < hi; v++ {
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			for _, u := range pa.Remote(v) {
+				atomicx.AddFloat64(&nextBits[u], c)
+			}
+		}
+		barrier.Wait()
+		for i := lo; i < hi; i++ {
+			pr[i] = math.Float64frombits(nextBits[i])
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		if opt.Canceled() {
 			stats.Canceled = true
 			break
 		}
 		start := time.Now()
-		pool.Run(func(w int) {
-			lo, hi := pa.Part.Range(w)
-			for i := lo; i < hi; i++ {
-				nextBits[i] = baseBits
-			}
-			barrier.Wait()
-			// Phase 1: local updates, no atomics. Only thread w writes
-			// vertices owned by w, so plain read-modify-write is safe.
-			for v := lo; v < hi; v++ {
-				d := g.Degree(v)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				for _, u := range pa.Local(v) {
-					nextBits[u] = math.Float64bits(math.Float64frombits(nextBits[u]) + c)
-				}
-			}
-			// The lightweight barrier of Algorithm 8, line 10.
-			barrier.Wait()
-			// Phase 2: remote updates with atomics.
-			for v := lo; v < hi; v++ {
-				d := g.Degree(v)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				for _, u := range pa.Remote(v) {
-					atomicx.AddFloat64(&nextBits[u], c)
-				}
-			}
-			barrier.Wait()
-			for i := lo; i < hi; i++ {
-				pr[i] = math.Float64frombits(nextBits[i])
-			}
-		})
+		pool.Run(round)
 		el := time.Since(start)
 		stats.Record(el)
 		opt.Tick(l, el)

@@ -57,49 +57,54 @@ func PushProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 		pr[i] = 1 / float64(n)
 	}
 	base := (1 - opt.Damping) / float64(n)
+	// Phase bodies hoisted out of the iteration loop so the modeled run
+	// allocates nothing per round, matching the fast variants.
+	initPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPushInit)
+		for i := lo; i < hi; i++ {
+			next[i] = base
+			p.Write(a.next.Addr(int64(i)), 8)
+		}
+	}
+	scatterPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPushScatter)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			// Read pr[v] and the two offsets bounding N(v).
+			p.Read(a.pr.Addr(int64(vi)), 8)
+			p.Read(a.off.Addr(int64(vi)), 8)
+			d := g.Degree(v)
+			p.Branch(d == 0)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			offs := g.Offsets[v]
+			for i, u := range g.Neighbors(v) {
+				p.Branch(true)                       // loop condition
+				p.Read(a.adj.Addr(offs+int64(i)), 4) // sequential adj read
+				p.Atomic(a.next.Addr(int64(u)), 8)   // W f: conflicting float add
+				p.Jump()                             // call into the CAS helper
+				next[u] += c                         // deterministic execution: no retries
+			}
+		}
+	}
+	commitPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPushCommit)
+		for i := lo; i < hi; i++ {
+			p.Read(a.next.Addr(int64(i)), 8)
+			p.Write(a.pr.Addr(int64(i)), 8)
+			pr[i] = next[i]
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		iterStart := time.Now()
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPushInit)
-			for i := lo; i < hi; i++ {
-				next[i] = base
-				p.Write(a.next.Addr(int64(i)), 8)
-			}
-		})
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPushScatter)
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				// Read pr[v] and the two offsets bounding N(v).
-				p.Read(a.pr.Addr(int64(vi)), 8)
-				p.Read(a.off.Addr(int64(vi)), 8)
-				d := g.Degree(v)
-				p.Branch(d == 0)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				offs := g.Offsets[v]
-				for i, u := range g.Neighbors(v) {
-					p.Branch(true)                       // loop condition
-					p.Read(a.adj.Addr(offs+int64(i)), 4) // sequential adj read
-					p.Atomic(a.next.Addr(int64(u)), 8)   // W f: conflicting float add
-					p.Jump()                             // call into the CAS helper
-					next[u] += c                         // deterministic execution: no retries
-				}
-			}
-		})
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPushCommit)
-			for i := lo; i < hi; i++ {
-				p.Read(a.next.Addr(int64(i)), 8)
-				p.Write(a.pr.Addr(int64(i)), 8)
-				pr[i] = next[i]
-			}
-		})
+		sched.SequentialFor(n, prof.Threads, initPhase)
+		sched.SequentialFor(n, prof.Threads, scatterPhase)
+		sched.SequentialFor(n, prof.Threads, commitPhase)
 		opt.Tick(l, time.Since(iterStart))
 	}
 	return pr, nil
@@ -125,31 +130,34 @@ func PullProfiled(g *graph.CSR, opt Options, prof core.Profile, space *memsim.Ad
 		pr[i] = 1 / float64(n)
 	}
 	base := (1 - opt.Damping) / float64(n)
+	// Hoisted gather body; pr and next are captured by reference, so the
+	// per-round swap stays visible.
+	gatherPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPullGather)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			p.Read(a.off.Addr(int64(vi)), 8)
+			sum := 0.0
+			offs := g.Offsets[v]
+			for i, u := range g.Neighbors(v) {
+				p.Branch(true)                       // loop condition
+				p.Read(a.adj.Addr(offs+int64(i)), 4) // sequential adj read
+				p.Read(a.pr.Addr(int64(u)), 8)       // R: random rank read
+				p.Read(a.off.Addr(int64(u)), 8)      // random degree read
+				du := g.Degree(u)
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			p.Write(a.next.Addr(int64(vi)), 8) // private, no conflict
+			next[vi] = base + opt.Damping*sum
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		iterStart := time.Now()
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPullGather)
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				p.Read(a.off.Addr(int64(vi)), 8)
-				sum := 0.0
-				offs := g.Offsets[v]
-				for i, u := range g.Neighbors(v) {
-					p.Branch(true)                       // loop condition
-					p.Read(a.adj.Addr(offs+int64(i)), 4) // sequential adj read
-					p.Read(a.pr.Addr(int64(u)), 8)       // R: random rank read
-					p.Read(a.off.Addr(int64(u)), 8)      // random degree read
-					du := g.Degree(u)
-					if du == 0 {
-						continue
-					}
-					sum += pr[u] / float64(du)
-				}
-				p.Write(a.next.Addr(int64(vi)), 8) // private, no conflict
-				next[vi] = base + opt.Damping*sum
-			}
-		})
+		sched.SequentialFor(n, prof.Threads, gatherPhase)
 		pr, next = next, pr
 		opt.Tick(l, time.Since(iterStart))
 	}
@@ -194,74 +202,80 @@ func PushPAProfiled(pa *graph.PAGraph, opt Options, prof core.Profile, space *me
 		pr[i] = 1 / float64(n)
 	}
 	base := (1 - opt.Damping) / float64(n)
+	// Phase bodies hoisted out of the iteration loop so the modeled run
+	// allocates nothing per round, matching the fast variants.
+	initPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPushInit)
+		for i := lo; i < hi; i++ {
+			next[i] = base
+			p.Write(nextA.Addr(int64(i)), 8)
+		}
+	}
+	// Phase 1: local, non-atomic.
+	localPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPAPhase1)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			p.Read(prA.Addr(int64(vi)), 8)
+			p.Read(off.Addr(int64(vi)), 8)
+			d := g.Degree(v)
+			p.Branch(d == 0)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			p.Read(locOff.Addr(int64(vi)), 8)
+			offs := pa.LocOff[v]
+			for i, u := range pa.Local(v) {
+				p.Branch(true)
+				p.Read(locAdj.Addr(offs+int64(i)), 4)
+				p.Read(nextA.Addr(int64(u)), 8)
+				p.Write(nextA.Addr(int64(u)), 8) // plain store, no atomic
+				next[u] += c
+			}
+		}
+	}
+	// Phase 2: remote, atomic.
+	remotePhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPAPhase2)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			p.Read(prA.Addr(int64(vi)), 8)
+			d := g.Degree(v)
+			p.Branch(d == 0)
+			if d == 0 {
+				continue
+			}
+			c := opt.Damping * pr[v] / float64(d)
+			p.Read(remOff.Addr(int64(vi)), 8)
+			offs := pa.RemOff[v]
+			for i, u := range pa.Remote(v) {
+				p.Branch(true)
+				p.Read(remAdj.Addr(offs+int64(i)), 4)
+				p.Atomic(nextA.Addr(int64(u)), 8) // W i per Algorithm 8
+				p.Jump()
+				next[u] += c
+			}
+		}
+	}
+	commitPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionPushCommit)
+		for i := lo; i < hi; i++ {
+			p.Read(nextA.Addr(int64(i)), 8)
+			p.Write(prA.Addr(int64(i)), 8)
+			pr[i] = next[i]
+		}
+	}
 	for l := 0; l < opt.Iterations; l++ {
 		iterStart := time.Now()
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPushInit)
-			for i := lo; i < hi; i++ {
-				next[i] = base
-				p.Write(nextA.Addr(int64(i)), 8)
-			}
-		})
-		// Phase 1: local, non-atomic.
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPAPhase1)
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				p.Read(prA.Addr(int64(vi)), 8)
-				p.Read(off.Addr(int64(vi)), 8)
-				d := g.Degree(v)
-				p.Branch(d == 0)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				p.Read(locOff.Addr(int64(vi)), 8)
-				offs := pa.LocOff[v]
-				for i, u := range pa.Local(v) {
-					p.Branch(true)
-					p.Read(locAdj.Addr(offs+int64(i)), 4)
-					p.Read(nextA.Addr(int64(u)), 8)
-					p.Write(nextA.Addr(int64(u)), 8) // plain store, no atomic
-					next[u] += c
-				}
-			}
-		})
-		// Phase 2: remote, atomic.
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPAPhase2)
-			for vi := lo; vi < hi; vi++ {
-				v := graph.V(vi)
-				p.Read(prA.Addr(int64(vi)), 8)
-				d := g.Degree(v)
-				p.Branch(d == 0)
-				if d == 0 {
-					continue
-				}
-				c := opt.Damping * pr[v] / float64(d)
-				p.Read(remOff.Addr(int64(vi)), 8)
-				offs := pa.RemOff[v]
-				for i, u := range pa.Remote(v) {
-					p.Branch(true)
-					p.Read(remAdj.Addr(offs+int64(i)), 4)
-					p.Atomic(nextA.Addr(int64(u)), 8) // W i per Algorithm 8
-					p.Jump()
-					next[u] += c
-				}
-			}
-		})
-		sched.SequentialFor(n, prof.Threads, func(w, lo, hi int) {
-			p := prof.Probes[w]
-			p.Exec(regionPushCommit)
-			for i := lo; i < hi; i++ {
-				p.Read(nextA.Addr(int64(i)), 8)
-				p.Write(prA.Addr(int64(i)), 8)
-				pr[i] = next[i]
-			}
-		})
+		sched.SequentialFor(n, prof.Threads, initPhase)
+		sched.SequentialFor(n, prof.Threads, localPhase)
+		sched.SequentialFor(n, prof.Threads, remotePhase)
+		sched.SequentialFor(n, prof.Threads, commitPhase)
 		opt.Tick(l, time.Since(iterStart))
 	}
 	return pr, nil

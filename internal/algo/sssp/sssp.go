@@ -147,8 +147,34 @@ func Push(g *graph.CSR, opt Options) *Result {
 		}
 	}
 
-	for b := 0; b < len(buckets); b++ {
-		cur := buckets[b]
+	// The relax body is hoisted out of the epoch loops so the steady state
+	// does not allocate a closure per round; b and cur are captured by
+	// reference, so each round's reassignment stays visible.
+	var b int
+	var cur []graph.V
+	relax := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := cur[i]
+			dv := atomicx.LoadFloat64(&distBits[v])
+			if bucketOf(dv) != b {
+				continue // stale entry: v moved to an earlier bucket
+			}
+			ws := g.NeighborWeights(v)
+			for j, u := range g.Neighbors(v) {
+				we := 1.0
+				if ws != nil {
+					we = float64(ws[j])
+				}
+				nd := dv + we
+				if lowered, _ := atomicx.MinFloat64(&distBits[u], nd); lowered {
+					perThread[w] = append(perThread[w], insert{bucketOf(nd), u})
+				}
+			}
+		}
+	}
+
+	for b = 0; b < len(buckets); b++ {
+		cur = buckets[b]
 		buckets[b] = nil
 		if len(cur) == 0 {
 			continue
@@ -161,26 +187,7 @@ func Push(g *graph.CSR, opt Options) *Result {
 			}
 			start := time.Now()
 			res.Inner++
-			sched.ParallelFor(len(cur), t, sched.Static, 0, func(w, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					v := cur[i]
-					dv := atomicx.LoadFloat64(&distBits[v])
-					if bucketOf(dv) != b {
-						continue // stale entry: v moved to an earlier bucket
-					}
-					ws := g.NeighborWeights(v)
-					for j, u := range g.Neighbors(v) {
-						we := 1.0
-						if ws != nil {
-							we = float64(ws[j])
-						}
-						nd := dv + we
-						if lowered, _ := atomicx.MinFloat64(&distBits[u], nd); lowered {
-							perThread[w] = append(perThread[w], insert{bucketOf(nd), u})
-						}
-					}
-				}
-			})
+			sched.ParallelFor(len(cur), t, sched.Static, 0, relax)
 			// Deterministic merge of the per-thread insertion buffers — the
 			// k-filter step. Re-inserts into bucket b continue the epoch.
 			inRound.Clear()
@@ -250,10 +257,50 @@ func Pull(g *graph.CSR, opt Options) *Result {
 	activeNext := make([]bool, n)
 	changed := make([]bool, t)
 
+	// The relax body is hoisted out of the epoch loops so the steady state
+	// does not allocate a closure per round; b, itr and the active arrays
+	// are captured by reference, so each round's updates stay visible.
 	b := 0
+	var itr int
+	relax := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			dv := atomicx.LoadFloat64(&distBits[v])
+			if dv <= float64(b)*delta {
+				continue // settled for this epoch
+			}
+			ws := g.NeighborWeights(v)
+			best := dv
+			for j, u := range g.Neighbors(v) {
+				du := atomicx.LoadFloat64(&distBits[u])
+				if bucketOf(du) != b {
+					continue
+				}
+				if itr > 0 && !activeCur[u] {
+					continue
+				}
+				we := 1.0
+				if ws != nil {
+					we = float64(ws[j])
+				}
+				if nd := du + we; nd < best {
+					best = nd
+				}
+			}
+			if best < dv {
+				// Owner-only write: a store, not a CAS.
+				atomicx.StoreFloat64(&distBits[v], best)
+				if bucketOf(best) == b {
+					activeNext[v] = true
+					changed[w] = true
+				}
+			}
+		}
+	}
+
 	for !res.Stats.Canceled {
 		res.Epochs++
-		for itr := 0; ; itr++ {
+		for itr = 0; ; itr++ {
 			if opt.Canceled() {
 				res.Stats.Canceled = true
 				break
@@ -263,41 +310,7 @@ func Pull(g *graph.CSR, opt Options) *Result {
 			for i := range changed {
 				changed[i] = false
 			}
-			sched.ParallelFor(n, t, sched.Static, 0, func(w, lo, hi int) {
-				for vi := lo; vi < hi; vi++ {
-					v := graph.V(vi)
-					dv := atomicx.LoadFloat64(&distBits[v])
-					if dv <= float64(b)*delta {
-						continue // settled for this epoch
-					}
-					ws := g.NeighborWeights(v)
-					best := dv
-					for j, u := range g.Neighbors(v) {
-						du := atomicx.LoadFloat64(&distBits[u])
-						if bucketOf(du) != b {
-							continue
-						}
-						if itr > 0 && !activeCur[u] {
-							continue
-						}
-						we := 1.0
-						if ws != nil {
-							we = float64(ws[j])
-						}
-						if nd := du + we; nd < best {
-							best = nd
-						}
-					}
-					if best < dv {
-						// Owner-only write: a store, not a CAS.
-						atomicx.StoreFloat64(&distBits[v], best)
-						if bucketOf(best) == b {
-							activeNext[v] = true
-							changed[w] = true
-						}
-					}
-				}
-			})
+			sched.ParallelFor(n, t, sched.Static, 0, relax)
 			activeCur, activeNext = activeNext, activeCur
 			for i := range activeNext {
 				activeNext[i] = false

@@ -1,0 +1,25 @@
+// Package analysis registers the pushpull-lint analyzer suite: the five
+// invariant checkers that keep the engine's concurrency and kernel
+// contracts honest (see each subpackage's doc comment for the invariant
+// and its paper grounding).
+package analysis
+
+import (
+	"pushpull/internal/analysis/atomicmix"
+	"pushpull/internal/analysis/capshonesty"
+	"pushpull/internal/analysis/ctxloop"
+	"pushpull/internal/analysis/framework"
+	"pushpull/internal/analysis/kernelalloc"
+	"pushpull/internal/analysis/lockheld"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		atomicmix.Analyzer,
+		capshonesty.Analyzer,
+		ctxloop.Analyzer,
+		kernelalloc.Analyzer,
+		lockheld.Analyzer,
+	}
+}

@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest far enough for this
+// module's fixtures (which must build offline, so the x/tools original
+// is out of reach).
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	cfg.ready[u] = 1 // want `plain access to ready`
+//
+// with one or more quoted (or backquoted) regexps; each must match
+// exactly one diagnostic reported on that line. Diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the
+// test. Suppression fixtures carry a //pushpull:allow comment and no
+// want — the assertion is silence.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pushpull/internal/analysis/driver"
+	"pushpull/internal/analysis/framework"
+)
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads dir (relative to the test's working directory) as a package
+// named importPath, runs the analyzer, and asserts the diagnostics match
+// the fixture's want comments. The import path matters: scope predicates
+// key on it (e.g. kernelalloc only fires under .../internal/algo/...).
+func Run(t *testing.T, a *framework.Analyzer, dir, importPath string) {
+	t.Helper()
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := driver.LoadDir(root, dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := pkg.Analyze([]*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k][matched] = nil // consumed
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// ModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

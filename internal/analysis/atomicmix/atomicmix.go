@@ -1,0 +1,219 @@
+// Package atomicmix flags struct fields and package-level variables
+// that are accessed both through sync/atomic (or pushpull's
+// internal/atomicx) and by plain load/store in the same package.
+//
+// This is the push-side race class §4.2 of the paper invites: push
+// kernels publish through CAS/fetch-add while some other code path reads
+// the same slot with a plain load, and `go test -race` only catches the
+// interleavings the tests happen to schedule. Mixing is occasionally
+// correct — bfs's direction-optimizing kernel alternates atomic push
+// rounds with plain pull rounds separated by a barrier — and those
+// sites must carry a `//pushpull:allow atomicmix <why>` comment naming
+// the phase-separation argument.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pushpull/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix checker.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields and package-level vars accessed both atomically " +
+		"(sync/atomic, internal/atomicx) and by plain load/store in the same package",
+	Run: run,
+}
+
+// isAtomicPkg reports whether path is one of the atomic-operation
+// packages whose calls mark an access as atomic.
+func isAtomicPkg(path string) bool {
+	return path == "sync/atomic" || strings.HasSuffix(path, "internal/atomicx")
+}
+
+// use is one access to a tracked variable.
+type use struct {
+	pos    token.Pos
+	atomic bool
+}
+
+func run(pass *framework.Pass) error {
+	// Pass A: claim the base variables of &x addresses handed to
+	// sync/atomic / atomicx calls. The claim is on the identity of the
+	// base node (the SelectorExpr/Ident itself), so pass B can tell an
+	// atomic access from a plain one without re-deriving call context.
+	claimed := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || !isAtomicPkg(obj.Pkg().Path()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					if base, _ := baseVar(pass.Info, un.X); base != nil {
+						claimed[base] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass B: categorize every access to a tracked variable.
+	uses := map[*types.Var][]use{}
+	for _, f := range pass.Files {
+		framework.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			v, base := trackedVar(pass, n)
+			if v == nil {
+				return true
+			}
+			switch under := v.Type().Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Map:
+				// Only element accesses touch shared cells; reading the
+				// header (len, range, passing the slice along) is not a
+				// race with atomic element ops.
+				_ = under
+				if !underIndex(n, stack) {
+					return true
+				}
+			}
+			uses[v] = append(uses[v], use{pos: base.Pos(), atomic: claimed[base]})
+			return true
+		})
+	}
+
+	type finding struct {
+		pos       token.Pos
+		v         *types.Var
+		atomicPos token.Pos
+	}
+	var findings []finding
+	for v, us := range uses {
+		var atomics, plains []use
+		for _, u := range us {
+			if u.atomic {
+				atomics = append(atomics, u)
+			} else {
+				plains = append(plains, u)
+			}
+		}
+		if len(atomics) == 0 || len(plains) == 0 {
+			continue
+		}
+		for _, p := range plains {
+			findings = append(findings, finding{pos: p.pos, v: v, atomicPos: atomics[0].pos})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos,
+			"plain access to %s, which is also accessed atomically (e.g. %s); use atomic ops everywhere or document the phase separation with //pushpull:allow atomicmix",
+			f.v.Name(), pass.Fset.Position(f.atomicPos))
+	}
+	return nil
+}
+
+// trackedVar reports whether n is an access to a variable atomicmix
+// tracks: a struct field (via selector) or a package-level var of the
+// package under analysis. It returns the variable and the base node the
+// claim map is keyed on. Fields whose type is itself an atomic box
+// (atomic.Int64, atomicx.Float64, ...) are exempt — the type makes plain
+// access impossible.
+func trackedVar(pass *framework.Pass, n ast.Node) (*types.Var, ast.Node) {
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		v, ok := pass.Info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() || atomicBoxed(v.Type()) {
+			return nil, nil
+		}
+		return v, e
+	case *ast.Ident:
+		v, ok := pass.Info.Uses[e].(*types.Var)
+		if !ok || v.IsField() || atomicBoxed(v.Type()) {
+			return nil, nil
+		}
+		if v.Pkg() != pass.Pkg || v.Parent() != pass.Pkg.Scope() {
+			return nil, nil
+		}
+		return v, e
+	}
+	return nil, nil
+}
+
+// baseVar peels parens, indexing and derefs off an lvalue and returns
+// the tracked variable at its base along with the base node.
+func baseVar(info *types.Info, e ast.Expr) (ast.Node, *types.Var) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+				return x, v
+			}
+			e = x.X
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() {
+				return x, v
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// underIndex reports whether node n is (through parens) the operand of
+// an index expression — i.e. an element of the slice/map field is being
+// touched, not just its header.
+func underIndex(n ast.Node, stack []ast.Node) bool {
+	child := n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.IndexExpr:
+			return p.X == child || sameUnparen(p.X, child)
+		}
+		return false
+	}
+	return false
+}
+
+func sameUnparen(a ast.Expr, b ast.Node) bool {
+	be, ok := b.(ast.Expr)
+	if !ok {
+		return false
+	}
+	return ast.Unparen(a) == ast.Unparen(be)
+}
+
+// atomicBoxed reports whether t is a named type defined by sync/atomic
+// or internal/atomicx (those types can't be accessed non-atomically).
+func atomicBoxed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && isAtomicPkg(pkg.Path())
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"pushpull/internal/analysis/analysistest"
+	"pushpull/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "testdata/atomicmixfix", "atomicmixfix")
+}

@@ -1,0 +1,74 @@
+// Package atomicmixfix exercises the atomicmix analyzer: mixed
+// atomic/plain access to fields and package vars must be flagged,
+// single-discipline access and atomic box types must not.
+package atomicmixfix
+
+import (
+	"sync/atomic"
+
+	"pushpull/internal/atomicx"
+)
+
+type counters struct {
+	hits   int64
+	misses int64
+	rank   uint64
+	boxed  atomic.Int64
+	ready  []int32
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) report() int64 {
+	return c.hits // want `plain access to hits`
+}
+
+func (c *counters) storePlain(v int64) {
+	c.hits = v // want `plain access to hits`
+}
+
+func (c *counters) missOnly() {
+	c.misses++ // plain-only field: no finding
+}
+
+func (c *counters) boxedOnly() int64 {
+	c.boxed.Add(1) // atomic box type: plain access is impossible
+	return c.boxed.Load()
+}
+
+func (c *counters) addRank(d float64) {
+	atomicx.AddFloat64(&c.rank, d)
+}
+
+func (c *counters) rankPlain() uint64 {
+	return c.rank // want `plain access to rank`
+}
+
+func (c *counters) pushRound(u int) {
+	atomic.AddInt32(&c.ready[u], 1)
+}
+
+func (c *counters) pullRound(u int) bool {
+	return c.ready[u] == 1 // want `plain access to ready`
+}
+
+func (c *counters) headerOnly() int {
+	return len(c.ready) // slice header read, not an element: no finding
+}
+
+func (c *counters) allowedPull(u int) bool {
+	//pushpull:allow atomicmix pull phase runs after the round barrier
+	return c.ready[u] == 1
+}
+
+var total uint64
+
+func addTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+func readTotal() uint64 {
+	return total // want `plain access to total`
+}

@@ -1,0 +1,12 @@
+package capshonesty_test
+
+import (
+	"testing"
+
+	"pushpull/internal/analysis/analysistest"
+	"pushpull/internal/analysis/capshonesty"
+)
+
+func TestCapsHonesty(t *testing.T) {
+	analysistest.Run(t, capshonesty.Analyzer, "testdata/capsfix", "capsfix")
+}

@@ -1,0 +1,215 @@
+// Package ctxloop enforces the RunStats.Canceled contract from PR 1:
+// every per-iteration loop in internal/algo kernels and every
+// sleep/backoff retry loop in the engine/cluster layers must reach a
+// cancellation check, so a canceled context always stops the run with a
+// truthful partial result instead of spinning to completion.
+//
+// What counts as a per-iteration loop: one whose body records progress —
+// a call to a method named Record (RunStats.Record) or Tick
+// (Options.Tick) inside internal/algo, or a call to time.Sleep /
+// time.After / time.Tick anywhere in the engine, serve, or cluster
+// layers (the retry/backoff shape). What counts as a cancellation
+// check: a call to a method named Canceled (core.Options.Canceled), an
+// Err()/Done() call on a context.Context, or a receive from a
+// stop/done/quit channel.
+//
+// Profiled kernels are exempt: any function with a core.Profile
+// parameter runs uncancelled by design (probe runs are short and their
+// counters must cover the whole kernel), mirroring how the unprofiled
+// twins carry the cancellation duty.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pushpull/internal/analysis/framework"
+)
+
+// Analyzer is the ctxloop checker.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxloop",
+	Doc: "per-iteration kernel loops and retry/backoff loops must reach a " +
+		"cancellation check (opt.Canceled / ctx.Err / ctx.Done / stop channel)",
+	Run: run,
+}
+
+// inAlgo reports whether the package holds kernels (Record/Tick loops).
+func inAlgo(path string) bool {
+	return strings.Contains(path, "internal/algo")
+}
+
+// inServing reports whether the package is part of the serving stack
+// (retry/backoff loops).
+func inServing(path string) bool {
+	base := framework.PkgPathBase(path)
+	return base == "pushpull" ||
+		strings.HasPrefix(base, "pushpull/cluster") ||
+		strings.HasPrefix(base, "pushpull/serve")
+}
+
+func run(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	kernels := inAlgo(path)
+	serving := inServing(path)
+	if !kernels && !serving {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if kernels && hasProfileParam(pass.Info, fd) {
+				continue
+			}
+			checkBody(pass, fd.Body, kernels, serving)
+		}
+	}
+	return nil
+}
+
+// checkBody descends looking for the outermost loops whose subtree makes
+// per-iteration progress; each such loop must also contain a
+// cancellation check. Inner loops are covered by the outer check — the
+// kernels' canonical shape is `for round { if opt.Canceled() {...}; inner
+// loops; stats.Record(el) }`.
+func checkBody(pass *framework.Pass, body ast.Node, kernels, serving bool) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			trigger := triggerIn(pass, n, kernels, serving)
+			if trigger == "" {
+				return true // descend: an inner loop may still trigger
+			}
+			if !evidenceIn(pass, n) {
+				pass.Reportf(n.Pos(),
+					"per-iteration loop (calls %s) never reaches a cancellation check (opt.Canceled / ctx.Err / ctx.Done); the RunStats.Canceled contract requires every iteration loop to stop on a canceled context",
+					trigger)
+			}
+			return false // inner loops ride on this loop's verdict
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// triggerIn returns the name of the first per-iteration progress call in
+// n's subtree, or "".
+func triggerIn(pass *framework.Pass, n ast.Node, kernels, serving bool) string {
+	found := ""
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if kernels && (name == "Record" || name == "Tick") {
+			found = "stats." + name
+			return false
+		}
+		if serving && (name == "Sleep" || name == "After" || name == "Tick") {
+			if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				found = "time." + name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// evidenceIn reports whether n's subtree contains a cancellation check.
+func evidenceIn(pass *framework.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := m.(type) {
+		case *ast.CallExpr:
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Canceled":
+				found = true
+			case "Err", "Done":
+				if isContext(pass.Info.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-stop / <-done / <-quit: hand-rolled shutdown channels
+			// count as cancellation plumbing.
+			if e.Op == token.ARROW {
+				if name := finalName(e.X); name != "" {
+					l := strings.ToLower(name)
+					if strings.Contains(l, "stop") || strings.Contains(l, "done") || strings.Contains(l, "quit") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// finalName returns the rightmost identifier of an expression chain.
+func finalName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return finalName(x.Fun)
+	}
+	return ""
+}
+
+// hasProfileParam reports whether fd takes a core.Profile (by value or
+// pointer) — the profiled-kernel exemption.
+func hasProfileParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Profile" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/core") {
+			return true
+		}
+	}
+	return false
+}

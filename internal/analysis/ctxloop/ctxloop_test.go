@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"pushpull/internal/analysis/analysistest"
+	"pushpull/internal/analysis/ctxloop"
+)
+
+func TestKernelLoops(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "testdata/ctxfix", "pushpull/internal/algo/ctxfix")
+}
+
+func TestRetryLoops(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "testdata/retryfix", "pushpull/cluster/retryfix")
+}

@@ -1,0 +1,74 @@
+// Package ctxfix exercises ctxloop's kernel rules: loops that record
+// per-iteration progress must reach a cancellation check; profiled
+// kernels (core.Profile parameter) are exempt by design.
+package ctxfix
+
+import (
+	"context"
+	"time"
+
+	"pushpull/internal/core"
+)
+
+type stats struct{}
+
+func (s *stats) Record(d time.Duration) {}
+
+type opts struct{ ctx context.Context }
+
+func (o *opts) Canceled() bool { return o.ctx.Err() != nil }
+
+func bad(st *stats, iters int) {
+	for i := 0; i < iters; i++ { // want `never reaches a cancellation check`
+		st.Record(0)
+	}
+}
+
+func goodCanceled(o *opts, st *stats, iters int) {
+	for i := 0; i < iters; i++ {
+		if o.Canceled() {
+			return
+		}
+		st.Record(0)
+	}
+}
+
+func goodCtxErr(ctx context.Context, st *stats, iters int) {
+	for i := 0; i < iters; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		st.Record(0)
+	}
+}
+
+// goodNested: the check lives in the round loop; the inner edge loop
+// rides on it.
+func goodNested(o *opts, st *stats, iters, n int) {
+	sum := 0
+	for i := 0; i < iters; i++ {
+		if o.Canceled() {
+			return
+		}
+		for j := 0; j < n; j++ {
+			sum += j
+		}
+		st.Record(0)
+	}
+	_ = sum
+}
+
+// profiledKernel is exempt: probe runs are short and uncancelled so
+// their counters cover the whole kernel.
+func profiledKernel(prof *core.Profile, st *stats, iters int) {
+	for i := 0; i < iters; i++ {
+		st.Record(0)
+	}
+}
+
+func allowedLoop(st *stats, iters int) {
+	//pushpull:allow ctxloop bounded two-iteration fixup pass
+	for i := 0; i < iters; i++ {
+		st.Record(0)
+	}
+}

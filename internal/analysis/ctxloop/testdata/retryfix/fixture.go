@@ -1,0 +1,43 @@
+// Package retryfix exercises ctxloop's serving-layer rule: retry and
+// backoff loops (time.Sleep / time.After) must reach a cancellation
+// check or a stop-channel receive.
+package retryfix
+
+import (
+	"context"
+	"time"
+)
+
+func badRetry(attempts int) error {
+	var err error
+	for i := 0; i < attempts; i++ { // want `never reaches a cancellation check`
+		time.Sleep(time.Millisecond << i)
+		err = nil
+	}
+	return err
+}
+
+func goodRetry(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond << i):
+		}
+	}
+	return nil
+}
+
+type checker struct{ stop chan struct{} }
+
+// goodStopChannel: a hand-rolled shutdown channel counts as
+// cancellation plumbing.
+func (c *checker) loop(interval time.Duration) {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package driver loads and type-checks Go packages for pushpull-lint
+// without golang.org/x/tools: package discovery and export data come
+// from `go list -export -deps -json`, type checking from go/types with
+// the stdlib gc importer reading that export data.
+//
+// Two loading modes exist:
+//
+//   - Load: resolve package patterns (./...) against the enclosing
+//     module — the standalone `pushpull-lint ./...` path. Test files are
+//     not loaded here; `go vet -vettool` covers them (it presents test
+//     variants as separate compilation units).
+//   - LoadDir: load one directory as a single synthetic package — the
+//     analysistest fixture path, where testdata packages are invisible
+//     to go list by design.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pushpull/internal/analysis/framework"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyze runs the analyzers over the package, returning surviving
+// diagnostics.
+func (p *Package) Analyze(analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	return framework.RunAnalyzers(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over args and decodes
+// the package stream.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmdArgs := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error", "--"}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (relative to dir; "" means the working
+// directory) into type-checked packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	lookup := exportLookup(exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := typecheck(lp.ImportPath, files, lookup, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks every .go file in one directory as a single
+// package registered under importPath — the fixture loader. Imports are
+// resolved with `go list -export` (run in moduleDir so the fixture may
+// import module packages as well as the standard library).
+func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("driver: no .go files in %s", dir)
+	}
+	// Parse once just to harvest the import set, then list those packages
+	// for export data.
+	fset := token.NewFileSet()
+	importSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range af.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		listed, err := goList(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	return typecheck(importPath, files, exportLookup(exports), nil)
+}
+
+// VetUnit is the part of cmd/go's -vettool JSON config the driver needs
+// to rebuild one compilation unit: the unit's own files plus the export
+// data of every dependency, with ImportMap translating import paths as
+// written to the canonical package paths keying PackageFile (test
+// variants like "pushpull [pushpull.test]" live there).
+type VetUnit struct {
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+}
+
+// LoadVetUnit type-checks the unit described by a vet config.
+func LoadVetUnit(u VetUnit) (*Package, error) {
+	return typecheck(u.ImportPath, u.GoFiles, exportLookup(u.PackageFile), u.ImportMap)
+}
+
+// exportLookup adapts a path->export-file map to the gc importer's
+// lookup signature.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// importerFunc lifts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheck parses files and type-checks them as package path. importMap
+// translates source import paths to canonical package paths (nil: the
+// identity, which holds everywhere Go modules don't vendor).
+func typecheck(path string, filenames []string, lookup func(string) (io.ReadCloser, error), importMap map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, "gc", lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := importMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,192 @@
+// Package framework is the stdlib-only core of pushpull-lint: an
+// analyzer API shaped after golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so each checker is a drop-in candidate for the real
+// framework the day x/tools is vendorable, plus the suppression-comment
+// machinery shared by every checker.
+//
+// The x/tools dependency is deliberately absent: this module builds
+// offline, so the driver (see internal/analysis/driver) loads and
+// type-checks packages with go/parser + go/types + `go list -export`
+// instead of go/packages, and cmd/pushpull-lint speaks cmd/go's
+// -vettool config protocol directly instead of via unitchecker.
+//
+// Suppressions: a diagnostic is suppressed by a comment
+//
+//	//pushpull:allow <name> [justification]
+//
+// on the flagged line or on the line directly above it, where <name> is
+// the analyzer's name or one of its aliases (e.g. `alloc` for
+// kernelalloc). Justifications are strongly encouraged — the comment is
+// the documented proof obligation that the flagged invariant holds for
+// another reason (phase separation, design-level serialization, ...).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pushpull:allow comments.
+	Name string
+	// Aliases are extra names accepted in //pushpull:allow comments.
+	Aliases []string
+	// Doc is the one-paragraph description printed by `pushpull-lint help`.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form vet
+// relays.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers whose
+// invariants only bind production code (ctxloop, kernelalloc) skip these.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// AllowDirective is the suppression-comment prefix.
+const AllowDirective = "//pushpull:allow"
+
+// PkgPathBase strips cmd/go's test-variant suffix from a package path:
+// "pushpull [pushpull.test]" → "pushpull". Under `go vet -vettool` the
+// same package is analyzed again as its test variant, and scope
+// predicates must keep matching it.
+func PkgPathBase(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// allowSet maps file -> line -> analyzer names allowed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans the comment groups of files for AllowDirective
+// comments.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					set[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				names[name] = true
+			}
+		}
+	}
+	return set
+}
+
+// allowed reports whether d is suppressed for analyzer a: an allow
+// comment naming a (or an alias) sits on d's line or the line above.
+func (s allowSet) allowed(a *Analyzer, d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := []string{a.Name}
+	names = append(names, a.Aliases...)
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		onLine := byLine[line]
+		if onLine == nil {
+			continue
+		}
+		for _, n := range names {
+			if onLine[n] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every analyzer over one loaded package and returns
+// the surviving (non-suppressed) diagnostics in file/line order.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	allows := collectAllows(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			// The invariants bind production code; _test.go files get a
+			// blanket pass (fixture files are plain .go files, so the
+			// analyzer test suite is unaffected).
+			if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				continue
+			}
+			if !allows.allowed(a, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}

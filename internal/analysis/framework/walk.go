@@ -1,0 +1,25 @@
+package framework
+
+import "go/ast"
+
+// WalkStack traverses root in depth-first order, calling fn with each
+// node and the stack of its ancestors (outermost first, not including n
+// itself). If fn returns false, n's children are skipped.
+//
+// It is the small slice of golang.org/x/tools/go/ast/inspector that the
+// analyzers need (atomicmix must see whether a field selector sits under
+// an index expression or an atomic call's &argument).
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

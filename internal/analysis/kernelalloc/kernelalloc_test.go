@@ -1,0 +1,12 @@
+package kernelalloc_test
+
+import (
+	"testing"
+
+	"pushpull/internal/analysis/analysistest"
+	"pushpull/internal/analysis/kernelalloc"
+)
+
+func TestKernelAlloc(t *testing.T) {
+	analysistest.Run(t, kernelalloc.Analyzer, "testdata/allocfix", "pushpull/internal/algo/allocfix")
+}

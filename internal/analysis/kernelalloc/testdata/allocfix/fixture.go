@@ -1,0 +1,75 @@
+// Package allocfix exercises kernelalloc: heap allocations inside hot
+// kernel loops (ones recording per-iteration progress) are flagged;
+// hoisted buffers, cold loops, and //pushpull:allow alloc sites are not.
+package allocfix
+
+import "time"
+
+type stats struct{}
+
+func (s *stats) Record(d time.Duration) {}
+
+type node struct{ v int }
+
+func badMake(st *stats, rounds, n int) {
+	for i := 0; i < rounds; i++ {
+		buf := make([]int, n) // want `make allocates per iteration`
+		_ = buf
+		st.Record(0)
+	}
+}
+
+func badClosure(st *stats, rounds int) {
+	sum := 0
+	for i := 0; i < rounds; i++ {
+		f := func(x int) int { return x + i } // want `closure allocated per iteration`
+		sum = f(sum)
+		st.Record(0)
+	}
+	_ = sum
+}
+
+func badComposite(st *stats, rounds int) *node {
+	var last *node
+	for i := 0; i < rounds; i++ {
+		last = &node{v: i} // want `&composite literal escapes`
+		st.Record(0)
+	}
+	return last
+}
+
+func badMap(st *stats, rounds int) map[int]int {
+	m := map[int]int{}
+	for i := 0; i < rounds; i++ {
+		m[i] = i // want `map write in a hot kernel loop`
+		st.Record(0)
+	}
+	return m
+}
+
+// goodHoisted reuses a run-scoped buffer: nothing allocates inside the
+// hot loop.
+func goodHoisted(st *stats, rounds, n int) {
+	buf := make([]int, n)
+	for i := 0; i < rounds; i++ {
+		for j := range buf {
+			buf[j] = j
+		}
+		st.Record(0)
+	}
+}
+
+// coldLoop never records progress, so it is not a hot kernel loop.
+func coldLoop(rounds, n int) {
+	for i := 0; i < rounds; i++ {
+		_ = make([]int, n)
+	}
+}
+
+func allowedFrontier(st *stats, rounds int) {
+	for i := 0; i < rounds; i++ {
+		frontier := make([]int, 0, i) //pushpull:allow alloc frontier size is data-dependent per level
+		_ = frontier
+		st.Record(0)
+	}
+}

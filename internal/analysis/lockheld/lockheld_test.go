@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"pushpull/internal/analysis/analysistest"
+	"pushpull/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "testdata/lockfix", "pushpull/cluster/lockfix")
+}

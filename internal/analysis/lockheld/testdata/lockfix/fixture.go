@@ -1,0 +1,98 @@
+// Package lockfix exercises lockheld: mutexes held across blocking
+// operations (HTTP, file I/O, channel ops, transitively blocking
+// same-package calls) are flagged; unlock-first code and annotated
+// design-level serialization are not.
+package lockfix
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu     sync.Mutex
+	client *http.Client
+	val    int
+}
+
+func (b *box) badHTTP(url string) error {
+	b.mu.Lock()
+	resp, err := b.client.Get(url) // want `held across blocking call http.Client.Get`
+	if err == nil {
+		resp.Body.Close()
+	}
+	b.mu.Unlock()
+	return err
+}
+
+func (b *box) badDefer(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := os.Open(path) // want `held across blocking call os.Open`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (b *box) goodLockAfterIO(url string) error {
+	resp, err := b.client.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	b.mu.Lock()
+	b.val++
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *box) fanOut(urls []string) {
+	for _, u := range urls {
+		resp, err := b.client.Get(u)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+func (b *box) badTransitive(urls []string) {
+	b.mu.Lock()
+	b.fanOut(urls) // want `held across blocking call fanOut \(blocks transitively\)`
+	b.mu.Unlock()
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *queue) badSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `held across a channel send`
+	q.mu.Unlock()
+}
+
+func (q *queue) goodUnlockFirst(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+type registry struct {
+	mu sync.RWMutex
+}
+
+func (r *registry) badReadLock(path string) ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return os.ReadFile(path) // want `held across blocking call os.ReadFile`
+}
+
+func (b *box) allowedWriteThrough(path string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//pushpull:allow lockheld mutations serialize through the store by design
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,87 @@
+// The self-check: pushpull-lint's own invariants hold over the tree
+// that defines them. Every finding in the repo proper is either fixed
+// or carries a //pushpull:allow justification, so a clean run is the
+// steady state and any regression shows up here (and in CI) as a
+// concrete diagnostic, file:line included.
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pushpull/internal/analysis"
+	"pushpull/internal/analysis/driver"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean runs the full analyzer suite over every package in
+// the module and requires zero diagnostics.
+func TestRepoIsLintClean(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("driver.Load returned no packages")
+	}
+	suite := analysis.All()
+	clean := 0
+	for _, p := range pkgs {
+		diags, err := p.Analyze(suite)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+		if len(diags) == 0 {
+			clean++
+		}
+	}
+	t.Logf("%d/%d packages clean", clean, len(pkgs))
+}
+
+// TestVettoolRunsClean builds the pushpull-lint binary and drives it
+// through `go vet -vettool`, the exact invocation CI uses. This also
+// covers _test.go files, which the standalone loader skips.
+func TestVettoolRunsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and re-vets the module")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "pushpull-lint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/pushpull-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pushpull-lint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool reported findings: %v\n%s", err, out)
+	} else if s := strings.TrimSpace(string(out)); s != "" {
+		t.Logf("vet output: %s", s)
+	}
+}

@@ -38,13 +38,13 @@ func NewFloatWin(c *dm.Cluster, sizes []int) (*FloatWin, error) {
 		if s < 0 {
 			return nil, fmt.Errorf("rma: negative segment size %d", s)
 		}
-		w.seg[i] = make([]uint64, s)
+		w.seg[i] = make([]uint64, s) //pushpull:allow atomicmix constructor runs before the window is shared; only elements race, never the headers
 	}
 	return w, nil
 }
 
 // SegLen returns the length of rank t's segment.
-func (w *FloatWin) SegLen(t int) int { return len(w.seg[t]) }
+func (w *FloatWin) SegLen(t int) int { return len(w.seg[t]) } //pushpull:allow atomicmix segment headers are immutable after construction; the atomics guard elements
 
 // Get reads element idx of rank target's segment.
 func (w *FloatWin) Get(r *dm.Rank, target, idx int) float64 {
@@ -91,7 +91,7 @@ func (w *FloatWin) Flush(r *dm.Rank, target int) {
 
 // Local returns the caller's own segment decoded to float64 (a snapshot).
 func (w *FloatWin) Local(r *dm.Rank) []float64 {
-	seg := w.seg[r.ID]
+	seg := w.seg[r.ID] //pushpull:allow atomicmix segment headers are immutable after construction; the atomics guard elements
 	out := make([]float64, len(seg))
 	for i := range seg {
 		out[i] = atomicx.LoadFloat64(&seg[i])
@@ -101,7 +101,7 @@ func (w *FloatWin) Local(r *dm.Rank) []float64 {
 
 // FillLocal overwrites the caller's own segment.
 func (w *FloatWin) FillLocal(r *dm.Rank, v float64) {
-	seg := w.seg[r.ID]
+	seg := w.seg[r.ID] //pushpull:allow atomicmix segment headers are immutable after construction; the atomics guard elements
 	for i := range seg {
 		atomicx.StoreFloat64(&seg[i], v)
 	}
@@ -124,13 +124,13 @@ func NewIntWin(c *dm.Cluster, sizes []int) (*IntWin, error) {
 		if s < 0 {
 			return nil, fmt.Errorf("rma: negative segment size %d", s)
 		}
-		w.seg[i] = make([]int64, s)
+		w.seg[i] = make([]int64, s) //pushpull:allow atomicmix constructor runs before the window is shared; only elements race, never the headers
 	}
 	return w, nil
 }
 
 // SegLen returns the length of rank t's segment.
-func (w *IntWin) SegLen(t int) int { return len(w.seg[t]) }
+func (w *IntWin) SegLen(t int) int { return len(w.seg[t]) } //pushpull:allow atomicmix segment headers are immutable after construction; the atomics guard elements
 
 // Get reads element idx of rank target's segment.
 func (w *IntWin) Get(r *dm.Rank, target, idx int) int64 {
@@ -206,7 +206,7 @@ func (w *IntWin) Flush(r *dm.Rank, target int) {
 
 // Local returns a snapshot of the caller's own segment.
 func (w *IntWin) Local(r *dm.Rank) []int64 {
-	seg := w.seg[r.ID]
+	seg := w.seg[r.ID] //pushpull:allow atomicmix segment headers are immutable after construction; the atomics guard elements
 	out := make([]int64, len(seg))
 	for i := range seg {
 		out[i] = atomic.LoadInt64(&seg[i])

@@ -194,10 +194,13 @@ func (s *DiskStore) Get(name string) (*Workload, error) {
 	return w, nil
 }
 
-// Put implements GraphStore.
+// Put implements GraphStore. The whole-graph serialization happens
+// before the store lock is taken — WriteWorkload walks every edge, and
+// holding the lock across it would stall every concurrent Get/Delete
+// behind one large upload. Only the atomic rename that publishes the
+// temp file runs under the lock, so concurrent Puts of one name still
+// serialize into complete, last-write-wins files.
 func (s *DiskStore) Put(name string, w *Workload) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	tmp, err := os.CreateTemp(s.dir, ".put-*")
 	if err != nil {
 		return fmt.Errorf("diskstore: %w", err)
@@ -211,6 +214,8 @@ func (s *DiskStore) Put(name string, w *Workload) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %q: %w", name, err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %q: %w", name, err)
