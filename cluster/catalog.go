@@ -31,11 +31,16 @@ type Catalog struct {
 	mu    sync.RWMutex
 	m     map[string]Placement
 	epoch uint64
+	// jobs is the async-tier affinity table: job (or batch) ID → the
+	// worker that accepted the submission. Job state lives on exactly one
+	// worker — there is no replication of job records — so status/result
+	// polls must pin to it; failover would invent a 404 for a live job.
+	jobs map[string]string
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{m: map[string]Placement{}}
+	return &Catalog{m: map[string]Placement{}, jobs: map[string]string{}}
 }
 
 // NextEpoch allocates the next mutation epoch (starting at 1).
@@ -80,6 +85,29 @@ func (c *Catalog) List() []Placement {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// SetJob records which worker accepted a job (or batch) submission, the
+// affinity every later status/result/cancel poll for that ID pins to.
+func (c *Catalog) SetJob(id, worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs[id] = worker
+}
+
+// JobWorker looks up the worker holding a submitted job or batch.
+func (c *Catalog) JobWorker(id string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w, ok := c.jobs[id]
+	return w, ok
+}
+
+// JobsLen counts tracked job/batch affinities.
+func (c *Catalog) JobsLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.jobs)
 }
 
 // Len counts recorded placements.

@@ -76,6 +76,33 @@ func (p *proxy) run(ctx context.Context, worker string, body []byte) (*workerRes
 	return p.do(ctx, http.MethodPost, worker+"/run", body, 0)
 }
 
+// submitJobs forwards a POST /jobs body (single spec or batch) to one
+// worker.
+func (p *proxy) submitJobs(ctx context.Context, worker string, body []byte) (*workerResponse, error) {
+	return p.do(ctx, http.MethodPost, worker+"/jobs", body, 0)
+}
+
+// jobStatus fetches one job's status view from the worker holding it.
+func (p *proxy) jobStatus(ctx context.Context, worker, id string) (*workerResponse, error) {
+	return p.do(ctx, http.MethodGet, worker+"/jobs/"+pathEscape(id), nil, 0)
+}
+
+// jobResult fetches one job's stored run result.
+func (p *proxy) jobResult(ctx context.Context, worker, id string) (*workerResponse, error) {
+	return p.do(ctx, http.MethodGet, worker+"/jobs/"+pathEscape(id)+"/result", nil, 0)
+}
+
+// cancelJob propagates a DELETE /jobs/{id} to the worker holding it.
+func (p *proxy) cancelJob(ctx context.Context, worker, id string) (*workerResponse, error) {
+	return p.do(ctx, http.MethodDelete, worker+"/jobs/"+pathEscape(id), nil, 0)
+}
+
+// listJobs fetches one worker's job list; query carries the caller's
+// filter string ("" or "?state=...&batch=...").
+func (p *proxy) listJobs(ctx context.Context, worker, query string) (*workerResponse, error) {
+	return p.do(ctx, http.MethodGet, worker+"/jobs"+query, nil, 0)
+}
+
 // stats fetches one worker's GET /stats body.
 func (p *proxy) stats(ctx context.Context, worker string) (*workerResponse, error) {
 	return p.do(ctx, http.MethodGet, worker+"/stats", nil, 0)

@@ -186,6 +186,11 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("PUT /graphs/{name}", rt.putGraph)
 	rt.mux.HandleFunc("DELETE /graphs/{name}", rt.deleteGraph)
 	rt.mux.HandleFunc("POST /run", rt.run)
+	rt.mux.HandleFunc("POST /jobs", rt.submitJobs)
+	rt.mux.HandleFunc("GET /jobs", rt.listJobs)
+	rt.mux.HandleFunc("GET /jobs/{id}", rt.jobStatus)
+	rt.mux.HandleFunc("GET /jobs/{id}/result", rt.jobResult)
+	rt.mux.HandleFunc("DELETE /jobs/{id}", rt.cancelJob)
 	rt.mux.HandleFunc("GET /stats", rt.stats)
 	return rt, nil
 }
@@ -421,11 +426,41 @@ func (rt *Router) run(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Route to the primary replica, failing over through the rest:
-	// healthy replicas first (placement order), then the ones marked
-	// down — they may have recovered since the last probe, and a dead
-	// candidate only costs one connection error.
+	// Route to the primary replica, failing over through the rest.
 	candidates := upFirst(pl.Replicas, rt.health)
+	resp, wkr, err := rt.tryReplicas(r.Context(), pl.Replicas[0], candidates, func(wkr string) (*workerResponse, error) {
+		return rt.proxy.run(r.Context(), wkr, body)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		writeError(w, http.StatusBadGateway, fmt.Errorf("graph %q: %w", req.Graph, err))
+		return
+	}
+	if advice != "" {
+		w.Header().Set(AdviceHeader, advice)
+	}
+	rt.relay(w, resp, wkr)
+}
+
+// tryReplicas drives the routing loop shared by synchronous runs and
+// async job submissions: try candidates in order (healthy replicas
+// first — upFirst keeps placement order within each liveness group, and
+// a down candidate may have recovered since the last probe, costing
+// only one connection error), with exponential backoff between
+// attempts. Connection errors mark the worker down — the fastest
+// truthful signal, so concurrent requests stop picking it before the
+// next probe. 5xx (worker-side fault), 429 (an overloaded shard
+// shedding load — the admission queue's truthful overload signal) and
+// 404 (a worker that lost its state, e.g. a restart without a store)
+// fail over to the next candidate. Any other status is the answer —
+// returned with the worker that served it. primary names the
+// placement's first replica so failovers are counted even when upFirst
+// reordered the candidates; the returned error is the context's when
+// the client gave up mid-backoff.
+func (rt *Router) tryReplicas(ctx context.Context, primary string, candidates []string, send func(worker string) (*workerResponse, error)) (*workerResponse, string, error) {
 	backoff := rt.cfg.RetryBase
 	attempts := rt.cfg.Retries + 1
 	var lastFailure string
@@ -434,9 +469,8 @@ func (rt *Router) run(w http.ResponseWriter, r *http.Request) {
 		if attempt > 0 {
 			rt.retried.Add(1)
 			select {
-			case <-r.Context().Done():
-				writeError(w, http.StatusGatewayTimeout, r.Context().Err())
-				return
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
 			case <-time.After(backoff):
 			}
 			backoff *= 2
@@ -444,42 +478,37 @@ func (rt *Router) run(w http.ResponseWriter, r *http.Request) {
 				backoff = rt.cfg.RetryMax
 			}
 		}
-		resp, err := rt.proxy.run(r.Context(), wkr, body)
+		resp, err := send(wkr)
 		if err != nil {
-			// Unreachable: the fastest truthful signal — mark it down so
-			// concurrent requests stop picking it before the next probe.
 			rt.health.MarkDown(wkr)
 			lastFailure = fmt.Sprintf("%s: %v", wkr, err)
 			continue
 		}
 		if resp.status >= 500 || resp.status == http.StatusTooManyRequests || resp.status == http.StatusNotFound {
-			// 5xx: worker-side fault. 429: its shard shed the run — the
-			// admission queue's truthful overload signal. 404: the worker
-			// lost the graph (restart without a store). All are grounds
-			// to try a secondary, not to fail the client.
 			lastFailure = fmt.Sprintf("%s: %s", wkr, errorFrom(resp))
 			continue
 		}
-		if wkr != pl.Replicas[0] {
+		if wkr != primary {
 			rt.failedOver.Add(1)
 		}
 		rt.routed.Add(1)
-		h := w.Header()
-		if ct := resp.header.Get("Content-Type"); ct != "" {
-			h.Set("Content-Type", ct)
-		}
-		h.Set(WorkerHeader, wkr)
-		if advice != "" {
-			h.Set(AdviceHeader, advice)
-		}
-		w.WriteHeader(resp.status)
-		w.Write(resp.body)
-		return
+		return resp, wkr, nil
 	}
 	rt.failed.Add(1)
-	writeError(w, http.StatusBadGateway,
-		fmt.Errorf("all %d replica(s) of %q failed after %d attempts (last: %s)",
-			len(candidates), req.Graph, attempts, lastFailure))
+	return nil, "", fmt.Errorf("all %d replica(s) failed after %d attempts (last: %s)",
+		len(candidates), attempts, lastFailure)
+}
+
+// relay copies a worker's answer to the client, naming the worker that
+// served it.
+func (rt *Router) relay(w http.ResponseWriter, resp *workerResponse, wkr string) {
+	h := w.Header()
+	if ct := resp.header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set(WorkerHeader, wkr)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
 }
 
 // ---- stats ----
@@ -508,10 +537,13 @@ type RouterStats struct {
 	ReplicasDegraded uint64 `json:"replicas_degraded"`
 	// ReplicasCapped counts uploads placed on fewer replicas than the
 	// configured factor because not enough workers were up.
-	ReplicasCapped    uint64         `json:"replicas_capped"`
-	HealthTransitions uint64         `json:"health_transitions"`
-	Graphs            int            `json:"graphs"`
-	Workers           []WorkerStatus `json:"workers"`
+	ReplicasCapped    uint64 `json:"replicas_capped"`
+	HealthTransitions uint64 `json:"health_transitions"`
+	Graphs            int    `json:"graphs"`
+	// Jobs counts the job and batch affinities the catalog tracks —
+	// async submissions routed through this router.
+	Jobs    int            `json:"jobs"`
+	Workers []WorkerStatus `json:"workers"`
 }
 
 func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
@@ -524,6 +556,7 @@ func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 		ReplicasCapped:    rt.replicasCapped.Load(),
 		HealthTransitions: rt.health.Transitions(),
 		Graphs:            rt.catalog.Len(),
+		Jobs:              rt.catalog.JobsLen(),
 		Workers:           make([]WorkerStatus, len(rt.cfg.Workers)),
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)

@@ -21,6 +21,7 @@ import (
 
 	"pushpull"
 	"pushpull/cluster"
+	"pushpull/jobs"
 	"pushpull/serve"
 )
 
@@ -39,7 +40,12 @@ func (w *worker) kill()       { w.dead.Store(true) }
 func newWorker(t *testing.T) *worker {
 	t.Helper()
 	w := &worker{eng: pushpull.NewEngine()}
-	h := serve.New(w.eng)
+	mgr, err := jobs.NewManager(w.eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	h := serve.New(w.eng, serve.WithJobManager(mgr))
 	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		if w.dead.Load() {
 			panic(http.ErrAbortHandler)

@@ -9,6 +9,8 @@
 //	pushpull [flags] run <algorithm>   # one engine run via the facade
 //	pushpull [flags] serve             # HTTP serving front over an Engine
 //	pushpull [flags] route             # cluster router over serve workers
+//	pushpull jobs <sub>                # async-job client: submit/status/
+//	                                   # result/cancel/wait over /jobs
 //	pushpull [flags] <experiment-id>|all|list
 //
 //	pushpull run pr -dir pull          # PageRank, pulling
@@ -30,7 +32,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -47,6 +52,7 @@ import (
 	"pushpull"
 	"pushpull/cluster"
 	"pushpull/internal/harness"
+	"pushpull/jobs"
 	"pushpull/serve"
 )
 
@@ -71,6 +77,9 @@ func main() {
 		return
 	case "route":
 		routeCluster(flag.Args()[1:])
+		return
+	case "jobs":
+		jobsCommand(flag.Args()[1:])
 		return
 	case "list":
 		printCatalog(os.Stdout)
@@ -278,9 +287,10 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	graphs := fs.String("graphs", "", "comma-separated suite graph ids to preload (e.g. rmat,rca; weights attached)")
 	maxQueue := fs.Int("max-queue", 1024, "per-shard admission-queue bound: excess runs are shed with 429 + Retry-After (0 = queue unboundedly)")
 	maxUpload := fs.Int64("max-upload", serve.MaxGraphBytes, "PUT /graphs body limit in bytes; larger uploads get 413")
+	jobsParallel := fs.Int("jobs-parallel", 0, "async job dispatch parallelism (0 = GOMAXPROCS; keep at or below -workers for strict priority order)")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-max-queue n] [-max-upload bytes] [-store dir] [-graphs ids]\n")
+		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-max-queue n] [-max-upload bytes] [-jobs-parallel n] [-store dir] [-graphs ids]\n")
 		os.Exit(2)
 	}
 	// Negative values would otherwise silently mean "unbounded" or
@@ -306,6 +316,9 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	}
 	if *maxUpload < 0 {
 		badFlag("max-upload", "bytes; the default is 1 GiB")
+	}
+	if *jobsParallel < 0 {
+		badFlag("jobs-parallel", "0 means GOMAXPROCS dispatch slots")
 	}
 	if *cacheTTL > 0 && *cache == 0 {
 		fmt.Fprintf(os.Stderr, "pushpull: serve: -cache-ttl %v has no effect with -cache 0 (the result cache is disabled)\n", *cacheTTL)
@@ -363,9 +376,35 @@ func serveEngine(args []string, scale float64, seed uint64) {
 		}
 	}
 
+	// The async job queue: durable next to the graph store when one is
+	// configured (DiskStore ignores subdirectories, so <store>/jobs is
+	// safe ground), in-memory otherwise.
+	var jobStore jobs.JobStore
+	if *store != "" {
+		js, err := jobs.NewDiskJobStore(filepath.Join(*store, "jobs"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pushpull: serve: opening job store: %v\n", err)
+			os.Exit(1)
+		}
+		jobStore = js
+	}
+	mgrOpts := []jobs.Option{jobs.WithStore(jobStore)}
+	if *jobsParallel > 0 {
+		mgrOpts = append(mgrOpts, jobs.WithParallel(*jobsParallel))
+	}
+	mgr, err := jobs.NewManager(eng, mgrOpts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pushpull: serve: recovering jobs: %v\n", err)
+		os.Exit(1)
+	}
+	if js := mgr.Stats(); js.Queued > 0 || js.Interrupted > 0 {
+		fmt.Printf("recovered jobs: %d re-queued, %d interrupted\n", js.Queued, js.Interrupted)
+	}
+
+	handler := serve.New(eng, serve.WithMaxUpload(*maxUpload), serve.WithJobManager(mgr))
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(eng, serve.WithMaxUpload(*maxUpload)),
+		Handler: handler,
 		// A long-lived front must shed stalled clients: without these a
 		// trickled header or never-finished upload pins its goroutine
 		// and connection forever.
@@ -392,12 +431,19 @@ func serveEngine(args []string, scale float64, seed uint64) {
 		os.Exit(1)
 	case sig := <-sigc:
 		fmt.Printf("caught %v, draining\n", sig)
+		// Drain first: queued (not-yet-admitted) runs fail with 503
+		// immediately, so Shutdown only waits on runs actually holding a
+		// worker slot instead of racing an immobile queue. The job
+		// manager stops last — queued jobs keep their durable state for
+		// the next process to recover.
+		handler.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "pushpull: shutdown: %v\n", err)
 			os.Exit(1)
 		}
+		mgr.Close()
 	}
 }
 
@@ -507,6 +553,256 @@ func routeCluster(args []string) {
 	}
 }
 
+// ---- jobs: the async-client subcommands ----
+
+// jobsCommand dispatches `pushpull jobs <sub>`: thin HTTP clients over
+// the /jobs endpoints of a serve worker or cluster router.
+func jobsCommand(args []string) {
+	if len(args) == 0 {
+		jobsUsage()
+		os.Exit(2)
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "submit":
+		jobsSubmit(rest)
+	case "status", "result":
+		jobsGet(sub, rest)
+	case "cancel":
+		jobsCancel(rest)
+	case "wait":
+		jobsWait(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "pushpull: jobs: unknown subcommand %q\n", sub)
+		jobsUsage()
+		os.Exit(2)
+	}
+}
+
+func jobsUsage() {
+	fmt.Fprint(os.Stderr, `usage: pushpull jobs <subcommand> [flags]
+
+  submit [-addr url] [-priority low|normal|high] [-deadline d]
+         [-dir push|pull|auto] [-iters n] [-source v]
+         <graph> <algorithm>           submit one job, print its ID
+  submit [-addr url] [...] -batch g1:a1,g2:a2,...
+                                       submit a batch (one job ID per line;
+                                       the batch ID goes to stderr)
+  status [-addr url] <job-id>          print the job's status JSON
+  result [-addr url] <job-id>          print the stored run result
+  cancel [-addr url] <job-id>          cancel a queued or running job
+  wait   [-addr url] [-timeout d] [-poll d] <job-id> [job-id ...]
+                                       poll until terminal; exit 0 only
+                                       if every job ended done
+`)
+}
+
+// jobsClient is the shared HTTP client of the jobs subcommands; generous
+// enough for a slow router hop, bounded so a dead server fails fast.
+var jobsClient = &http.Client{Timeout: 30 * time.Second}
+
+// jobsFail prints an HTTP-level failure and exits.
+func jobsFail(context string, err error) {
+	fmt.Fprintf(os.Stderr, "pushpull: jobs: %s: %v\n", context, err)
+	os.Exit(1)
+}
+
+// jobsDo issues one request and returns the body, exiting on transport
+// errors; HTTP-level failures (≥ 400) print the server's error body and
+// exit unless okAccepted admits 202.
+func jobsDo(method, url string, body []byte) []byte {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		jobsFail(method+" "+url, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := jobsClient.Do(req)
+	if err != nil {
+		jobsFail(method+" "+url, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+	if err != nil {
+		jobsFail("reading response", err)
+	}
+	if resp.StatusCode >= 400 {
+		fmt.Fprintf(os.Stderr, "pushpull: jobs: %s %s: HTTP %d: %s", method, url, resp.StatusCode, buf)
+		os.Exit(1)
+	}
+	return buf
+}
+
+func jobsSubmit(args []string) {
+	fs := flag.NewFlagSet("jobs submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serve worker or cluster router base URL")
+	batch := fs.String("batch", "", "comma-separated graph:algorithm pairs submitted as one batch")
+	priority := fs.String("priority", "normal", "job priority: low, normal, high")
+	deadline := fs.Duration("deadline", 0, "job deadline from now (0 = none); expired jobs fail without running")
+	dir := fs.String("dir", "auto", "update direction: push, pull, auto")
+	iters := fs.Int("iters", 0, "iteration bound (0 = algorithm default)")
+	source := fs.Int("source", 0, "source vertex for traversals")
+	fs.Parse(args)
+	switch *priority {
+	case "low", "normal", "high":
+	default:
+		fmt.Fprintf(os.Stderr, "pushpull: jobs: bad -priority %q (low, normal, high)\n", *priority)
+		os.Exit(2)
+	}
+	if *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "pushpull: jobs: -deadline must not be negative")
+		os.Exit(2)
+	}
+	// The request body is assembled as a raw map so the CLI exercises
+	// the same wire shapes a curl user would write.
+	spec := func(graph, algo string) map[string]any {
+		m := map[string]any{"graph": graph, "algorithm": algo, "priority": *priority}
+		if *deadline > 0 {
+			m["deadline_ms"] = deadline.Milliseconds()
+		}
+		opts := map[string]any{}
+		if *dir != "" && *dir != "auto" {
+			opts["direction"] = *dir
+		}
+		if *iters > 0 {
+			opts["iterations"] = *iters
+		}
+		if *source > 0 {
+			opts["source"] = *source
+		}
+		if len(opts) > 0 {
+			m["options"] = opts
+		}
+		return m
+	}
+	var payload map[string]any
+	if *batch != "" {
+		if fs.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "pushpull: jobs submit: -batch and positional graph/algorithm are mutually exclusive")
+			os.Exit(2)
+		}
+		var specs []map[string]any
+		for _, pair := range strings.Split(*batch, ",") {
+			graph, algo, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok || graph == "" || algo == "" {
+				fmt.Fprintf(os.Stderr, "pushpull: jobs submit: bad -batch entry %q (want graph:algorithm)\n", pair)
+				os.Exit(2)
+			}
+			specs = append(specs, spec(graph, algo))
+		}
+		payload = map[string]any{"batch": specs}
+	} else {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: pushpull jobs submit [flags] <graph> <algorithm>  (or -batch g1:a1,g2:a2,...)")
+			os.Exit(2)
+		}
+		payload = spec(fs.Arg(0), fs.Arg(1))
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		jobsFail("encoding request", err)
+	}
+	resp := jobsDo(http.MethodPost, *addr+"/jobs", body)
+	if *batch != "" {
+		var br struct {
+			BatchID string `json:"batch_id"`
+			Jobs    []struct {
+				ID string `json:"id"`
+			} `json:"jobs"`
+		}
+		if err := json.Unmarshal(resp, &br); err != nil {
+			jobsFail("decoding batch response", err)
+		}
+		fmt.Fprintf(os.Stderr, "batch %s (%d jobs)\n", br.BatchID, len(br.Jobs))
+		for _, j := range br.Jobs {
+			fmt.Println(j.ID)
+		}
+		return
+	}
+	var j struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(resp, &j); err != nil {
+		jobsFail("decoding response", err)
+	}
+	fmt.Println(j.ID)
+}
+
+func jobsGet(sub string, args []string) {
+	fs := flag.NewFlagSet("jobs "+sub, flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serve worker or cluster router base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: pushpull jobs %s [-addr url] <job-id>\n", sub)
+		os.Exit(2)
+	}
+	path := "/jobs/" + fs.Arg(0)
+	if sub == "result" {
+		path += "/result"
+	}
+	os.Stdout.Write(jobsDo(http.MethodGet, *addr+path, nil))
+}
+
+func jobsCancel(args []string) {
+	fs := flag.NewFlagSet("jobs cancel", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serve worker or cluster router base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pushpull jobs cancel [-addr url] <job-id>")
+		os.Exit(2)
+	}
+	os.Stdout.Write(jobsDo(http.MethodDelete, *addr+"/jobs/"+fs.Arg(0), nil))
+}
+
+func jobsWait(args []string) {
+	fs := flag.NewFlagSet("jobs wait", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serve worker or cluster router base URL")
+	timeout := fs.Duration("timeout", time.Minute, "give up after this long")
+	poll := fs.Duration("poll", 200*time.Millisecond, "status poll interval")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pushpull jobs wait [-addr url] [-timeout d] [-poll d] <job-id> [job-id ...]")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ticker := time.NewTicker(*poll)
+	defer ticker.Stop()
+	allDone := true
+	for _, id := range fs.Args() {
+		for {
+			buf := jobsDo(http.MethodGet, *addr+"/jobs/"+id, nil)
+			var j struct {
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal(buf, &j); err != nil {
+				jobsFail("decoding status", err)
+			}
+			if jobs.State(j.State).Terminal() {
+				fmt.Printf("%s %s\n", id, j.State)
+				if jobs.State(j.State) != jobs.StateDone {
+					allDone = false
+				}
+				break
+			}
+			select {
+			case <-ctx.Done():
+				fmt.Fprintf(os.Stderr, "pushpull: jobs wait: timed out; %s is still %s\n", id, j.State)
+				os.Exit(1)
+			case <-ticker.C:
+			}
+		}
+	}
+	if !allDone {
+		os.Exit(1)
+	}
+}
+
 // orientDirected derives a directed graph from an undirected suite graph
 // by keeping one arc per undirected edge. The orientation is picked by
 // endpoint-sum parity — deterministic, but (unlike always low→high) not a
@@ -548,12 +844,13 @@ func printCatalog(w io.Writer) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | serve | route | <experiment-id>|all|list
+	fmt.Fprintf(os.Stderr, `usage: pushpull [flags] run <algorithm> | serve | route | jobs <sub> | <experiment-id>|all|list
 
 Runs any push/pull algorithm through the unified engine API, serves the
 engine over HTTP (pushpull serve), routes a cluster of serve workers
-(pushpull route), or regenerates the tables and figures of "To Push or
-To Pull" (HPDC'17).
+(pushpull route), drives async jobs on either (pushpull jobs
+submit|status|result|cancel|wait), or regenerates the tables and figures
+of "To Push or To Pull" (HPDC'17).
 
 `)
 	printCatalog(os.Stderr)

@@ -380,6 +380,11 @@ type ShardStats struct {
 	// queue; QueueWait is their cumulative wait.
 	QueuedRuns uint64
 	QueueWait  time.Duration
+	// Waiting is the instantaneous admission-queue depth: runs parked on
+	// this shard right now. Unlike the cumulative counters it can go to
+	// zero again; serving fronts divide mean historical queue wait by it
+	// to produce an honest Retry-After.
+	Waiting int64
 	// Rejected counts runs shed with ErrOverloaded because the queue
 	// already held WithQueueLimit waiters.
 	Rejected uint64
@@ -406,10 +411,12 @@ type EngineStats struct {
 	// CacheEntries is the current number of cached reports.
 	CacheEntries int
 	// QueuedRuns counts runs that waited in any admission queue;
-	// QueueWait is their cumulative wait. Rejected counts runs shed with
-	// ErrOverloaded under WithQueueLimit. All three aggregate Shards.
+	// QueueWait is their cumulative wait. Waiting is the instantaneous
+	// depth across all queues; Rejected counts runs shed with
+	// ErrOverloaded under WithQueueLimit. All four aggregate Shards.
 	QueuedRuns uint64
 	QueueWait  time.Duration
+	Waiting    int64
 	Rejected   uint64
 	// Shards breaks the execution telemetry down per shard executor.
 	Shards []ShardStats
@@ -432,11 +439,13 @@ func (e *Engine) Stats() EngineStats {
 			Runs:       sh.runs.Load(),
 			QueuedRuns: sh.queuedRuns.Load(),
 			QueueWait:  time.Duration(sh.queueWaitNS.Load()),
+			Waiting:    sh.waiting.Load(),
 			Rejected:   sh.rejected.Load(),
 		}
 		s.Shards[i] = ss
 		s.QueuedRuns += ss.QueuedRuns
 		s.QueueWait += ss.QueueWait
+		s.Waiting += ss.Waiting
 		s.Rejected += ss.Rejected
 	}
 	if e.cache != nil {

@@ -123,6 +123,51 @@ func main() {
 		log.Fatalf("single-flight violated: %d of %d concurrent identical runs executed", real, burst)
 	}
 
+	// Async jobs: a batch submitted to POST /jobs returns immediately with
+	// one batch ID; each job is then polled to a terminal state and the
+	// result fetched separately — the same RunResponse a synchronous /run
+	// would have returned.
+	var batch struct {
+		BatchID string `json:"batch_id"`
+		Jobs    []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"jobs"`
+	}
+	batchBody := `{"batch": [
+		{"graph": "demo", "algorithm": "pr", "priority": "high", "options": {"iterations": 10}},
+		{"graph": "demo", "algorithm": "bfs", "options": {"source": 0}},
+		{"graph": "demo", "algorithm": "tc", "priority": "low"}
+	]}`
+	mustJSON(do(client, post(*addr+"/jobs", batchBody), http.StatusAccepted), &batch)
+	if batch.BatchID == "" || len(batch.Jobs) != 3 {
+		log.Fatalf("batch submission returned %+v; want a batch ID and 3 jobs", batch)
+	}
+	fmt.Printf("batch %s accepted: %d jobs\n", batch.BatchID, len(batch.Jobs))
+	for _, bj := range batch.Jobs {
+		var j struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		deadline := time.Now().Add(time.Minute)
+		for {
+			mustJSON(do(client, get(*addr+"/jobs/"+bj.ID), http.StatusOK), &j)
+			if j.State == "done" {
+				break
+			}
+			if j.State == "failed" || j.State == "canceled" || j.State == "interrupted" {
+				log.Fatalf("job %s ended %s (%s); want done", bj.ID, j.State, j.Error)
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("job %s still %s after a minute", bj.ID, j.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var jr runResponse
+		mustJSON(do(client, get(*addr+"/jobs/"+bj.ID+"/result"), http.StatusOK), &jr)
+		fmt.Printf("job %s: done — %s\n", bj.ID, jr.Summary)
+	}
+
 	// Graph lifecycle: a scratch upload can be DELETEd again, after which
 	// runs against it 404. The "demo" graph stays registered — a
 	// store-backed server persists it across restarts.

@@ -7,11 +7,13 @@
 // What counts as a per-iteration loop: one whose body records progress —
 // a call to a method named Record (RunStats.Record) or Tick
 // (Options.Tick) inside internal/algo, or a call to time.Sleep /
-// time.After / time.Tick anywhere in the engine, serve, or cluster
-// layers (the retry/backoff shape). What counts as a cancellation
-// check: a call to a method named Canceled (core.Options.Canceled), an
-// Err()/Done() call on a context.Context, or a receive from a
-// stop/done/quit channel.
+// time.After / time.Tick anywhere in the engine, serve, cluster, or
+// jobs layers (the retry/backoff shape), or — same layers — a select
+// with at least one receive case (the scheduler/poller shape: a pump
+// that waits on channels forever must have a way to be told to stop).
+// What counts as a cancellation check: a call to a method named
+// Canceled (core.Options.Canceled), an Err()/Done() call on a
+// context.Context, or a receive from a stop/done/quit channel.
 //
 // Profiled kernels are exempt: any function with a core.Profile
 // parameter runs uncancelled by design (probe runs are short and their
@@ -42,12 +44,13 @@ func inAlgo(path string) bool {
 }
 
 // inServing reports whether the package is part of the serving stack
-// (retry/backoff loops).
+// (retry/backoff and scheduler/poller loops).
 func inServing(path string) bool {
 	base := framework.PkgPathBase(path)
 	return base == "pushpull" ||
 		strings.HasPrefix(base, "pushpull/cluster") ||
-		strings.HasPrefix(base, "pushpull/serve")
+		strings.HasPrefix(base, "pushpull/serve") ||
+		strings.HasPrefix(base, "pushpull/jobs")
 }
 
 func run(pass *framework.Pass) error {
@@ -88,7 +91,7 @@ func checkBody(pass *framework.Pass, body ast.Node, kernels, serving bool) {
 			}
 			if !evidenceIn(pass, n) {
 				pass.Reportf(n.Pos(),
-					"per-iteration loop (calls %s) never reaches a cancellation check (opt.Canceled / ctx.Err / ctx.Done); the RunStats.Canceled contract requires every iteration loop to stop on a canceled context",
+					"per-iteration loop (%s) never reaches a cancellation check (opt.Canceled / ctx.Err / ctx.Done / stop channel); the RunStats.Canceled contract requires every iteration loop to stop on a canceled context",
 					trigger)
 			}
 			return false // inner loops ride on this loop's verdict
@@ -98,12 +101,17 @@ func checkBody(pass *framework.Pass, body ast.Node, kernels, serving bool) {
 	ast.Inspect(body, visit)
 }
 
-// triggerIn returns the name of the first per-iteration progress call in
-// n's subtree, or "".
+// triggerIn returns a description of the first per-iteration progress
+// marker in n's subtree — a progress/backoff call, or (serving scope) a
+// receive-bearing select, the scheduler/poller shape — or "".
 func triggerIn(pass *framework.Pass, n ast.Node, kernels, serving bool) string {
 	found := ""
 	ast.Inspect(n, func(m ast.Node) bool {
 		if found != "" {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectStmt); ok && serving && selectReceives(sel) {
+			found = "select-driven channel pump"
 			return false
 		}
 		call, ok := m.(*ast.CallExpr)
@@ -116,18 +124,42 @@ func triggerIn(pass *framework.Pass, n ast.Node, kernels, serving bool) string {
 		}
 		name := sel.Sel.Name
 		if kernels && (name == "Record" || name == "Tick") {
-			found = "stats." + name
+			found = "calls stats." + name
 			return false
 		}
 		if serving && (name == "Sleep" || name == "After" || name == "Tick") {
 			if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
-				found = "time." + name
+				found = "calls time." + name
 				return false
 			}
 		}
 		return true
 	})
 	return found
+}
+
+// selectReceives reports whether the select has at least one receive
+// case — a send-only select (slot acquisition) is not a pump.
+func selectReceives(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		switch c := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range c.Rhs {
+				if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // evidenceIn reports whether n's subtree contains a cancellation check.

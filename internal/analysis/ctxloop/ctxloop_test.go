@@ -14,3 +14,7 @@ func TestKernelLoops(t *testing.T) {
 func TestRetryLoops(t *testing.T) {
 	analysistest.Run(t, ctxloop.Analyzer, "testdata/retryfix", "pushpull/cluster/retryfix")
 }
+
+func TestSchedulerLoops(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "testdata/schedfix", "pushpull/jobs/schedfix")
+}

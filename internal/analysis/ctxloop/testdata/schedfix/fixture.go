@@ -1,0 +1,59 @@
+// Package schedfix exercises ctxloop's scheduler/poller rule: a for
+// loop driven by a receive-bearing select (the channel-pump shape) must
+// also carry a way to be told to stop — a stop/done/quit channel
+// receive or a ctx.Done case.
+package schedfix
+
+import "context"
+
+type sched struct {
+	notify chan struct{}
+	work   chan int
+	sem    chan struct{}
+	stop   chan struct{}
+}
+
+// badPump waits on work channels forever with no shutdown path.
+func (s *sched) badPump() {
+	for { // want `never reaches a cancellation check`
+		select {
+		case <-s.notify:
+		case n := <-s.work:
+			_ = n
+		}
+	}
+}
+
+// goodPump carries a stop-channel case.
+func (s *sched) goodPump() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.notify:
+		}
+	}
+}
+
+// goodCtxPump stops through the context.
+func (s *sched) goodCtxPump(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case n := <-s.work:
+			_ = n
+		}
+	}
+}
+
+// sendOnly: a select made only of sends (slot acquisition) is not a
+// pump and must not trigger.
+func (s *sched) sendOnly(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,654 @@
+package jobs
+
+// The Manager: a priority+deadline-aware scheduler between job
+// submission and the engine's per-shard admission queues. Submission is
+// O(log n) and returns immediately; a single scheduler goroutine drains
+// the queue into at most WithParallel concurrent engine runs, so the
+// engine's own backpressure (bounded workers, shard queues) stays the
+// real throttle and the job queue absorbs what the synchronous path
+// would have shed with 429.
+//
+// Concurrency shape: the in-memory job map is the runtime truth, guarded
+// by mu; every state transition writes through to the JobStore under the
+// same critical section (the engine registry's write-through idiom) so
+// the store can never disagree with the order of transitions. The
+// scheduler wakes on a 1-buffered notify channel — submissions, job
+// completions and deadline timers all nudge it; a missed nudge is
+// harmless because the channel retains one.
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pushpull"
+	"pushpull/api"
+)
+
+// Manager schedules submitted jobs onto one Engine. Safe for concurrent
+// use; build with NewManager.
+type Manager struct {
+	eng      *pushpull.Engine
+	store    JobStore
+	parallel int
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	queue   jobHeap
+	cancels map[string]context.CancelFunc
+	seq     uint64
+	closed  bool
+
+	notify chan struct{} // 1-buffered scheduler nudge
+	sem    chan struct{} // dispatch slots (cap parallel)
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// Option configures NewManager.
+type Option func(*Manager)
+
+// WithStore makes job state durable: every transition writes through to
+// s, and NewManager recovers s's contents — queued jobs re-queue,
+// running jobs become interrupted. The default is an in-process
+// MemJobStore (no durability).
+func WithStore(s JobStore) Option {
+	return func(m *Manager) {
+		if s != nil {
+			m.store = s
+		}
+	}
+}
+
+// WithParallel bounds how many jobs the scheduler dispatches into the
+// engine concurrently (default GOMAXPROCS). Keep it at or below the
+// engine's worker count when strict priority order matters: a dispatched
+// job that merely parks in a shard admission queue is "running" as far
+// as the job queue is concerned, so excess parallelism lets low-priority
+// jobs leak past a later high-priority submission.
+func WithParallel(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.parallel = n
+		}
+	}
+}
+
+// NewManager builds a Manager over eng, recovers any jobs its store
+// holds, and starts the scheduler.
+func NewManager(eng *pushpull.Engine, opts ...Option) (*Manager, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("jobs: NewManager(nil engine)")
+	}
+	m := &Manager{
+		eng:      eng,
+		store:    NewMemJobStore(),
+		parallel: runtime.GOMAXPROCS(0),
+		jobs:     map[string]*Job{},
+		cancels:  map[string]context.CancelFunc{},
+		notify:   make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	m.sem = make(chan struct{}, m.parallel)
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	go m.schedule()
+	m.wake()
+	return m, nil
+}
+
+// recover loads the store's jobs into the runtime map: queued jobs
+// re-queue (in submission order, so recovered FIFO ties break as they
+// did originally), running jobs are marked interrupted — the process
+// that was executing them is gone, and their partial work with it.
+func (m *Manager) recover() error {
+	persisted, err := m.store.List()
+	if err != nil {
+		return fmt.Errorf("jobs: recovering store: %w", err)
+	}
+	sort.Slice(persisted, func(i, k int) bool {
+		if persisted[i].SubmittedMS != persisted[k].SubmittedMS {
+			return persisted[i].SubmittedMS < persisted[k].SubmittedMS
+		}
+		return persisted[i].ID < persisted[k].ID
+	})
+	now := time.Now().UnixMilli()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range persisted {
+		m.jobs[j.ID] = j
+		switch j.State {
+		case StateQueued:
+			m.enqueueLocked(j)
+		case StateRunning:
+			j.State = StateInterrupted
+			j.Error = "worker restarted while the job was running"
+			j.FinishedMS = now
+			if err := m.persistLocked(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Submit validates spec, records the job as queued, and returns it
+// immediately; the scheduler runs it when its turn comes.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	jobs, err := m.submit([]Spec{spec}, "")
+	if err != nil {
+		return nil, err
+	}
+	return jobs[0], nil
+}
+
+// SubmitBatch validates every spec and submits them together under one
+// batch ID. Validation is all-or-nothing: one bad tuple rejects the
+// whole batch with nothing enqueued, so a client never has to hunt down
+// the accepted half of a failed submission.
+func (m *Manager) SubmitBatch(specs []Spec) (string, []*Job, error) {
+	if len(specs) == 0 {
+		return "", nil, fmt.Errorf("jobs: empty batch")
+	}
+	batchID := newID("b-")
+	jobs, err := m.submit(specs, batchID)
+	if err != nil {
+		return "", nil, err
+	}
+	return batchID, jobs, nil
+}
+
+func (m *Manager) submit(specs []Spec, batchID string) ([]*Job, error) {
+	for i, spec := range specs {
+		if err := m.validate(spec); err != nil {
+			if batchID != "" {
+				return nil, fmt.Errorf("jobs: batch entry %d: %w", i, err)
+			}
+			return nil, err
+		}
+	}
+	now := time.Now().UnixMilli()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("jobs: manager closed")
+	}
+	out := make([]*Job, 0, len(specs))
+	for _, spec := range specs {
+		j := &Job{
+			ID:          newID("j-"),
+			BatchID:     batchID,
+			Spec:        spec,
+			State:       StateQueued,
+			SubmittedMS: now,
+		}
+		if spec.DeadlineMS > 0 {
+			j.DeadlineUnixMS = now + spec.DeadlineMS
+		}
+		m.jobs[j.ID] = j
+		m.enqueueLocked(j)
+		if err := m.persistLocked(j); err != nil {
+			// Unwind this job: accepting it un-persisted would break the
+			// restart contract (the job would silently vanish).
+			delete(m.jobs, j.ID)
+			j.State = StateFailed
+			return nil, err
+		}
+		out = append(out, j.StatusView())
+	}
+	m.wakeLocked()
+	return out, nil
+}
+
+// validate rejects a spec the engine could never run: unknown graph or
+// algorithm, or options no With* function would accept. Submission-time
+// rejection keeps failures synchronous where they are cheap to report.
+func (m *Manager) validate(spec Spec) error {
+	if spec.Graph == "" || spec.Algorithm == "" {
+		return fmt.Errorf(`jobs: "graph" and "algorithm" are required`)
+	}
+	if _, ok := m.eng.Workload(spec.Graph); !ok {
+		return fmt.Errorf("jobs: unknown graph %q", spec.Graph)
+	}
+	if _, err := pushpull.Lookup(spec.Algorithm); err != nil {
+		return err
+	}
+	if _, err := spec.Options.ToOptions(); err != nil {
+		return err
+	}
+	if spec.DeadlineMS < 0 {
+		return fmt.Errorf("jobs: negative deadline_ms %d", spec.DeadlineMS)
+	}
+	return nil
+}
+
+// enqueueLocked pushes j onto the queue (mu held) and arms an expiry
+// timer for its deadline so an expired job fails promptly even on an
+// idle manager instead of waiting for the next submission to sweep it.
+func (m *Manager) enqueueLocked(j *Job) {
+	m.seq++
+	heap.Push(&m.queue, &queued{job: j, seq: m.seq})
+	if j.DeadlineUnixMS > 0 {
+		until := time.Until(time.UnixMilli(j.DeadlineUnixMS)) + time.Millisecond
+		time.AfterFunc(until, m.expire)
+	}
+}
+
+// expire sweeps deadline-expired queued jobs on the timer's goroutine.
+// It cannot just nudge the scheduler: with every dispatch slot busy the
+// scheduler is parked waiting for one, and a job whose deadline passed
+// must turn failed promptly — truthfully observable by status polls —
+// not when a slot happens to free.
+func (m *Manager) expire() {
+	m.mu.Lock()
+	m.sweepLocked()
+	m.mu.Unlock()
+	m.wake()
+}
+
+// Get returns a snapshot of the job (result payload included).
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	cp := *j
+	return &cp, nil
+}
+
+// Result returns the stored api.RunResponse bytes of a done job. A
+// still-pending job returns ErrNotDone; a deadline-expired one returns
+// ErrDeadlineExceeded; other non-done terminal states return an error
+// carrying the job's failure message.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch {
+	case j.State == StateDone:
+		return j.Result, nil
+	case !j.State.Terminal():
+		return nil, fmt.Errorf("%w: %q is %s", ErrNotDone, id, j.State)
+	case j.Error == ErrDeadlineExceeded.Error():
+		return nil, fmt.Errorf("%w (job %q)", ErrDeadlineExceeded, id)
+	default:
+		return nil, fmt.Errorf("jobs: %q %s: %s", id, j.State, j.Error)
+	}
+}
+
+// Cancel cancels a job: a queued job goes straight to canceled, a
+// running one has its context canceled (the state transition lands when
+// the run returns). Canceling a terminal job is a no-op. The returned
+// snapshot reflects the state after the call.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch j.State {
+	case StateQueued:
+		// The heap entry stays; the scheduler skips non-queued entries.
+		j.State = StateCanceled
+		j.Error = "canceled while queued"
+		j.FinishedMS = time.Now().UnixMilli()
+		if err := m.persistLocked(j); err != nil {
+			return nil, err
+		}
+	case StateRunning:
+		if cancel, ok := m.cancels[id]; ok {
+			cancel()
+		}
+	}
+	cp := *j
+	return &cp, nil
+}
+
+// List returns status snapshots (no result payloads), filtered by state
+// and/or batch ID when non-empty, sorted by submission time then ID.
+func (m *Manager) List(state State, batchID string) ([]*Job, error) {
+	if state != "" && !state.valid() {
+		return nil, fmt.Errorf("jobs: bad state filter %q", state)
+	}
+	m.mu.Lock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if state != "" && j.State != state {
+			continue
+		}
+		if batchID != "" && j.BatchID != batchID {
+			continue
+		}
+		out = append(out, j.StatusView())
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].SubmittedMS != out[k].SubmittedMS {
+			return out[i].SubmittedMS < out[k].SubmittedMS
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out, nil
+}
+
+// Wait polls until the job reaches a terminal state, returning its final
+// snapshot (poll ≤ 0 defaults to 25ms). On context expiry it returns the
+// last snapshot seen alongside ctx.Err().
+func (m *Manager) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		j, err := m.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Stats is a point-in-time census of the Manager's jobs.
+type Stats struct {
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	Done        int `json:"done"`
+	Failed      int `json:"failed"`
+	Canceled    int `json:"canceled"`
+	Interrupted int `json:"interrupted"`
+}
+
+// Stats counts jobs by state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s Stats
+	for _, j := range m.jobs {
+		switch j.State {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCanceled:
+			s.Canceled++
+		case StateInterrupted:
+			s.Interrupted++
+		}
+	}
+	return s
+}
+
+// Close stops the scheduler: no further jobs dispatch (queued ones keep
+// their state for a successor to recover). Jobs already running are not
+// canceled — they finish and persist on their own goroutines. Submit
+// fails after Close.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+}
+
+// ---- the scheduler ----
+
+// wake nudges the scheduler; safe from any goroutine, including after
+// Close (the nudge is simply never consumed).
+func (m *Manager) wake() {
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// wakeLocked exists to make call sites under mu self-documenting; the
+// nudge itself is lock-free.
+func (m *Manager) wakeLocked() { m.wake() }
+
+// schedule is the Manager's single scheduler goroutine: wait for a
+// nudge, then drain the queue into dispatch slots until either runs out.
+func (m *Manager) schedule() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.notify:
+		}
+		for {
+			// A dispatch slot first, then a job: acquiring in this order
+			// means a popped job always has a slot waiting, so nothing is
+			// ever marked running and then re-queued.
+			select {
+			case m.sem <- struct{}{}:
+			case <-m.stop:
+				return
+			}
+			j, ctx, cancel := m.next()
+			if j == nil {
+				<-m.sem
+				break
+			}
+			go m.execute(j, ctx, cancel)
+		}
+	}
+}
+
+// next pops the highest-priority runnable job, marking it running and
+// registering its CancelFunc. Deadline-expired jobs met along the way
+// fail with ErrDeadlineExceeded without consuming the caller's dispatch
+// slot; entries canceled while queued are dropped silently (their state
+// already moved on). Returns nil when nothing is runnable.
+func (m *Manager) next() (*Job, context.Context, context.CancelFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	for m.queue.Len() > 0 {
+		j := heap.Pop(&m.queue).(*queued).job
+		if j.State != StateQueued {
+			continue
+		}
+		now := time.Now()
+		j.State = StateRunning
+		j.StartedMS = now.UnixMilli()
+		// The job context derives from Background, not any request: the
+		// submitting client is long gone by design. Cancellation comes
+		// from exactly two places — Cancel(id) and the job's deadline —
+		// so context.Canceled on the run unambiguously means canceled.
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if j.DeadlineUnixMS > 0 {
+			ctx, cancel = context.WithDeadline(context.Background(), time.UnixMilli(j.DeadlineUnixMS))
+		} else {
+			ctx, cancel = context.WithCancel(context.Background())
+		}
+		m.cancels[j.ID] = cancel
+		if err := m.persistLocked(j); err != nil {
+			// The store is the restart contract; run anyway — the run
+			// path must not depend on disk health — but keep the error
+			// visible on the job.
+			j.Error = err.Error()
+		}
+		return j, ctx, cancel
+	}
+	return nil, nil, nil
+}
+
+// sweepLocked fails every queued job whose deadline has passed (mu
+// held). Pop order alone cannot catch these: an expired low-priority job
+// buried under live high-priority work would otherwise sit "queued"
+// indefinitely.
+func (m *Manager) sweepLocked() {
+	now := time.Now().UnixMilli()
+	for _, q := range m.queue {
+		j := q.job
+		if j.State == StateQueued && j.DeadlineUnixMS > 0 && now >= j.DeadlineUnixMS {
+			j.State = StateFailed
+			j.Error = ErrDeadlineExceeded.Error()
+			j.FinishedMS = now
+			if err := m.persistLocked(j); err != nil {
+				j.Error = fmt.Sprintf("%s (persist: %s)", ErrDeadlineExceeded.Error(), err)
+			}
+		}
+	}
+}
+
+// execute runs one dispatched job to completion on the engine and
+// records the outcome. Runs on its own goroutine, holding one dispatch
+// slot.
+func (m *Manager) execute(j *Job, ctx context.Context, cancel context.CancelFunc) {
+	defer func() {
+		cancel()
+		<-m.sem
+		m.wake()
+	}()
+	rep, err := m.runSpec(ctx, j.Spec)
+	now := time.Now().UnixMilli()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cancels, j.ID)
+	j.FinishedMS = now
+	switch {
+	case err == nil:
+		resp := api.BuildResponse(j.Spec.Graph, rep)
+		raw, merr := marshalResult(resp)
+		if merr != nil {
+			j.State = StateFailed
+			j.Error = merr.Error()
+			break
+		}
+		j.State = StateDone
+		j.Error = ""
+		j.Result = raw
+		stats := resp.Stats
+		j.Stats = &stats
+	case errors.Is(err, context.Canceled):
+		j.State = StateCanceled
+		j.Error = "canceled while running"
+	default:
+		// Deadline expiry mid-run lands here too: unlike pre-run expiry
+		// it did consume a slot, and the distinction stays visible in the
+		// timestamps (StartedMS set) and message.
+		j.State = StateFailed
+		j.Error = err.Error()
+	}
+	if err := m.persistLocked(j); err != nil && j.Error == "" {
+		j.Error = err.Error()
+	}
+}
+
+// runSpec resolves and runs one spec on the engine.
+func (m *Manager) runSpec(ctx context.Context, spec Spec) (*pushpull.Report, error) {
+	wl, ok := m.eng.Workload(spec.Graph)
+	if !ok {
+		// Validated at submission, but the graph may have been dropped
+		// while the job queued.
+		return nil, fmt.Errorf("jobs: graph %q is no longer registered", spec.Graph)
+	}
+	opts, err := spec.Options.ToOptions()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Options.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.Options.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	return m.eng.Run(ctx, wl, spec.Algorithm, opts...)
+}
+
+// persistLocked writes j through to the store (mu held, the engine
+// registry's write-through idiom: map and store must agree on the order
+// of transitions).
+func (m *Manager) persistLocked(j *Job) error {
+	//pushpull:allow lockheld write-through under mu by design: job map and store must observe state transitions in the same order
+	if err := m.store.Put(j); err != nil {
+		return fmt.Errorf("jobs: persisting %q: %w", j.ID, err)
+	}
+	return nil
+}
+
+// marshalResult encodes a run response for storage.
+func marshalResult(resp api.RunResponse) ([]byte, error) {
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding result: %w", err)
+	}
+	return raw, nil
+}
+
+// ---- the priority queue ----
+
+// queued is one heap entry. The job pointer is shared with m.jobs;
+// entries whose job left the queued state (canceled) are lazily dropped
+// at pop time.
+type queued struct {
+	job *Job
+	seq uint64
+}
+
+// jobHeap orders by priority (high first), then deadline (earliest
+// first, none last), then submission sequence (FIFO).
+type jobHeap []*queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	a, b := h[i], h[k]
+	if a.job.Spec.Priority != b.job.Spec.Priority {
+		return a.job.Spec.Priority > b.job.Spec.Priority
+	}
+	ad, bd := a.job.DeadlineUnixMS, b.job.DeadlineUnixMS
+	if ad != bd {
+		if ad == 0 {
+			return false
+		}
+		if bd == 0 {
+			return true
+		}
+		return ad < bd
+	}
+	return a.seq < b.seq
+}
+func (h jobHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

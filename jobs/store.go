@@ -1,0 +1,176 @@
+package jobs
+
+// JobStore: the persistence layer behind a Manager. The in-memory job
+// map is the runtime truth; every state transition writes through, so
+// the store always holds the last state each job durably reached and a
+// restarted Manager can pick the queue back up (NewManager recovers:
+// queued jobs re-queue, running jobs become interrupted).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// JobStore persists job records for a Manager. Implementations must be
+// safe for concurrent use.
+type JobStore interface {
+	// List loads every persisted job, in no particular order.
+	List() ([]*Job, error)
+	// Put persists j (keyed by j.ID), replacing any previous record.
+	Put(j *Job) error
+	// Delete removes a job record. Deleting an unknown ID is not an
+	// error.
+	Delete(id string) error
+}
+
+// ---- in-memory store ----
+
+// MemJobStore is a map-backed JobStore: the write-through contract
+// without durability, for tests and for Managers that don't need to
+// survive a restart.
+type MemJobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+// NewMemJobStore returns an empty in-memory job store.
+func NewMemJobStore() *MemJobStore {
+	return &MemJobStore{jobs: map[string]*Job{}}
+}
+
+// List implements JobStore.
+func (s *MemJobStore) List() ([]*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		cp := *j
+		out = append(out, &cp)
+	}
+	return out, nil
+}
+
+// Put implements JobStore.
+func (s *MemJobStore) Put(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *j
+	s.jobs[j.ID] = &cp
+	return nil
+}
+
+// Delete implements JobStore.
+func (s *MemJobStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	return nil
+}
+
+// ---- on-disk store ----
+
+// DiskJobStore persists each job as one JSON file under a directory:
+// <id>.job, written atomically (temp file + rename, the DiskStore
+// idiom) so a crash mid-Put leaves the previous record intact — the job
+// store can never hold a half-written record, only the last state the
+// job durably reached. Job IDs are generated hex ([a-z0-9-]), so the
+// filename mapping is the identity.
+type DiskJobStore struct {
+	dir string
+	// mu serializes writers; readers go straight to the filesystem
+	// (rename makes each file's content atomic).
+	mu sync.Mutex
+}
+
+// jobExt is the persisted-file suffix.
+const jobExt = ".job"
+
+// NewDiskJobStore opens (creating if needed) a job store rooted at dir.
+func NewDiskJobStore(dir string) (*DiskJobStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	return &DiskJobStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskJobStore) Dir() string { return s.dir }
+
+func (s *DiskJobStore) path(id string) string {
+	return filepath.Join(s.dir, id+jobExt)
+}
+
+// List implements JobStore.
+func (s *DiskJobStore) List() ([]*Job, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var out []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), jobExt) || strings.HasPrefix(e.Name(), ".") {
+			// Temp files and foreign droppings.
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("jobstore: %w", err)
+		}
+		var j Job
+		if err := json.Unmarshal(buf, &j); err != nil {
+			return nil, fmt.Errorf("jobstore: corrupt record %q: %w", e.Name(), err)
+		}
+		out = append(out, &j)
+	}
+	return out, nil
+}
+
+// Put implements JobStore. Serialization happens before the store lock
+// is taken; only the atomic rename that publishes the temp file runs
+// under it, so concurrent Puts of one job still serialize into
+// complete, last-write-wins files.
+func (s *DiskJobStore) Put(j *Job) error {
+	buf, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("jobstore: %q: %w", j.ID, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobstore: %q: %w", j.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobstore: %q: %w", j.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmp.Name(), s.path(j.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobstore: %q: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Delete implements JobStore.
+func (s *DiskJobStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("jobstore: %q: %w", id, err)
+	}
+	return nil
+}

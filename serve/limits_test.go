@@ -85,6 +85,17 @@ func (blockAlgo) Run(ctx context.Context, w *pushpull.Workload, cfg *pushpull.Co
 // first two complete normally once the slot frees.
 func TestServeOverload429(t *testing.T) {
 	blockOnce.Do(func() { pushpull.MustRegister(blockAlgo{}) })
+	// Re-arm the package-level gate so -count=N reps park again (every
+	// reader from a previous rep has finished by wg.Wait + ts.Close).
+	blockRelease = make(chan struct{})
+	for {
+		select {
+		case <-blockStarted:
+			continue
+		default:
+		}
+		break
+	}
 	eng := pushpull.NewEngine(
 		pushpull.WithWorkers(1), pushpull.WithShards(1), pushpull.WithQueueLimit(1),
 		pushpull.WithResultCache(0), pushpull.WithSingleFlight(false),

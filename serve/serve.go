@@ -32,13 +32,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"pushpull"
+	"pushpull/api"
+	"pushpull/jobs"
 )
 
 // MaxGraphBytes is the default bound on a PUT /graphs upload body
@@ -60,10 +61,20 @@ type Server struct {
 	eng *pushpull.Engine
 	mux *http.ServeMux
 
+	// jobs is the async job manager behind the /jobs endpoints; nil
+	// when the server is synchronous-only (those routes then 404).
+	jobs *jobs.Manager
+
+	// draining is closed by Drain: queued (not-yet-admitted) runs fail
+	// with 503 while in-flight ones finish.
+	draining  chan struct{}
+	drainOnce sync.Once
+
 	// maxUpload bounds PUT /graphs bodies; exceeding it is a 413.
 	maxUpload int64
-	// retryAfter is the Retry-After hint attached to 429 responses when
-	// the engine sheds a run with ErrOverloaded.
+	// retryAfter is the floor/fallback for the Retry-After hint on 429
+	// responses; the live hint is derived from queue telemetry (see
+	// queueETA).
 	retryAfter time.Duration
 
 	// epochMu guards epochs, the per-graph replication epochs of the
@@ -88,8 +99,10 @@ func WithMaxUpload(n int64) Option {
 	}
 }
 
-// WithRetryAfter sets the Retry-After hint on 429 responses (default one
-// second).
+// WithRetryAfter sets the floor (and the idle-telemetry fallback) of the
+// Retry-After hint on 429 responses, default one second. The live hint
+// is derived from the shedding shard's queue depth × mean queue wait, so
+// it grows with actual congestion; this option only bounds it below.
 func WithRetryAfter(d time.Duration) Option {
 	return func(s *Server) {
 		if d > 0 {
@@ -98,11 +111,20 @@ func WithRetryAfter(d time.Duration) Option {
 	}
 }
 
+// WithJobManager wires an async job manager into the server, enabling
+// the /jobs endpoints (submission, status, result, cancel, listing).
+// Without it those routes 404: a synchronous-only worker advertises no
+// async surface.
+func WithJobManager(m *jobs.Manager) Option {
+	return func(s *Server) { s.jobs = m }
+}
+
 // New builds a Server over eng.
 func New(eng *pushpull.Engine, opts ...Option) *Server {
 	s := &Server{
 		eng:        eng,
 		mux:        http.NewServeMux(),
+		draining:   make(chan struct{}),
 		maxUpload:  MaxGraphBytes,
 		retryAfter: time.Second,
 		epochs:     map[string]uint64{},
@@ -117,8 +139,28 @@ func New(eng *pushpull.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("DELETE /graphs/{name}", s.deleteGraph)
 	s.mux.HandleFunc("POST /run", s.run)
 	s.mux.HandleFunc("GET /stats", s.stats)
+	if s.jobs != nil {
+		s.mux.HandleFunc("POST /jobs", s.submitJobs)
+		s.mux.HandleFunc("GET /jobs", s.listJobs)
+		s.mux.HandleFunc("GET /jobs/{id}", s.jobStatus)
+		s.mux.HandleFunc("GET /jobs/{id}/result", s.jobResult)
+		s.mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
+	}
 	return s
 }
+
+// Drain puts the server into shutdown mode: runs already holding a
+// worker slot finish normally, but runs parked in (or newly reaching)
+// the admission queues fail immediately with 503 — a queue that will
+// never move must not race the shutdown timeout. Call before
+// http.Server.Shutdown; idempotent. Async jobs are unaffected (stop
+// their Manager separately).
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Jobs returns the job manager behind the /jobs endpoints, nil if none.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Engine returns the Engine the server fronts.
 func (s *Server) Engine() *pushpull.Engine { return s.eng }
@@ -144,76 +186,43 @@ type GraphInfo struct {
 	ID   string `json:"id"`
 }
 
+// The run wire types live in pushpull/api (shared with pushpull/jobs and
+// pushpull/cluster); the original serve names are kept as aliases so
+// pre-jobs clients compile unchanged.
+
 // RunRequest is the POST /run body.
-type RunRequest struct {
-	// Graph names a workload registered on the engine (PUT /graphs or
-	// server-side preload).
-	Graph string `json:"graph"`
-	// Algorithm is the registry name ("pr", "bfs", "dist-pr-mp", ...).
-	Algorithm string `json:"algorithm"`
-	// Options carries the run options; zero values mean the engine
-	// defaults, exactly like the With* functional options.
-	Options RunOptions `json:"options"`
-}
+type RunRequest = api.RunRequest
 
 // RunOptions is the JSON projection of the engine's functional options.
-// Unknown fields are rejected so a typo cannot silently run defaults.
-type RunOptions struct {
-	Direction      string   `json:"direction,omitempty"` // "push", "pull", "auto"
-	Threads        int      `json:"threads,omitempty"`
-	Iterations     int      `json:"iterations,omitempty"`
-	MaxIters       int      `json:"max_iters,omitempty"`
-	Source         int      `json:"source,omitempty"`
-	Sources        []int    `json:"sources,omitempty"`
-	Delta          float64  `json:"delta,omitempty"`
-	Damping        *float64 `json:"damping,omitempty"`
-	Partitions     int      `json:"partitions,omitempty"`
-	PartitionAware bool     `json:"partition_aware,omitempty"`
-	Ranks          int      `json:"ranks,omitempty"`
-	// TimeoutMS bounds the run server-side; the request context already
-	// cancels it when the client disconnects.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
+type RunOptions = api.RunOptions
 
 // RunResponse is the POST /run body on success.
-type RunResponse struct {
-	Algorithm  string   `json:"algorithm"`
-	Graph      string   `json:"graph"`
-	Summary    string   `json:"summary"`
-	Stats      RunStats `json:"stats"`
-	Directions []string `json:"directions,omitempty"`
-	// Ranks holds float payloads (pr ranks, bc scores, sssp distances);
-	// non-finite entries — the +Inf distance of an unreached vertex —
-	// are encoded as null.
-	Ranks   Floats  `json:"ranks,omitempty"`
-	Counts  []int64 `json:"counts,omitempty"`
-	Colors  []int32 `json:"colors,omitempty"`
-	Parents []int64 `json:"parents,omitempty"`
-	Levels  []int32 `json:"levels,omitempty"`
-}
+type RunResponse = api.RunResponse
 
 // RunStats is the JSON projection of the report's RunStats.
-type RunStats struct {
-	Direction   string `json:"direction"`
-	Iterations  int    `json:"iterations"`
-	ElapsedNS   int64  `json:"elapsed_ns"`
-	QueueWaitNS int64  `json:"queue_wait_ns"`
-	CacheHit    bool   `json:"cache_hit"`
-	Coalesced   bool   `json:"coalesced"`
-	Canceled    bool   `json:"canceled"`
-}
+type RunStats = api.RunStats
 
-// ShardStats is one per-shard entry of the GET /stats body.
+// Floats is api.Floats: a float vector marshaling non-finite entries as
+// null.
+type Floats = api.Floats
+
+// ShardStats is one per-shard entry of the GET /stats body. Waiting is
+// the instantaneous admission-queue depth (the cumulative counters only
+// ever grow).
 type ShardStats struct {
 	Shard       int    `json:"shard"`
 	Runs        uint64 `json:"runs"`
 	QueuedRuns  uint64 `json:"queued_runs"`
 	QueueWaitNS int64  `json:"queue_wait_ns"`
+	Waiting     int64  `json:"waiting"`
 	Rejected    uint64 `json:"rejected"`
 }
 
-// EngineStats is the GET /stats body. QueuedRuns/QueueWaitNS aggregate
-// the per-shard breakdown in Shards.
+// EngineStats is the GET /stats body. QueuedRuns/QueueWaitNS/Waiting
+// aggregate the per-shard breakdown in Shards. QueueETAMS is the live
+// estimate of how long a run arriving now would queue (deepest shard's
+// depth × its mean historical queue wait) — the same number 429
+// responses send as Retry-After, rounded up to seconds there.
 type EngineStats struct {
 	CacheHits    uint64       `json:"cache_hits"`
 	CacheMisses  uint64       `json:"cache_misses"`
@@ -223,9 +232,13 @@ type EngineStats struct {
 	CacheEntries int          `json:"cache_entries"`
 	QueuedRuns   uint64       `json:"queued_runs"`
 	QueueWaitNS  int64        `json:"queue_wait_ns"`
+	Waiting      int64        `json:"waiting"`
+	QueueETAMS   int64        `json:"queue_eta_ms"`
 	Rejected     uint64       `json:"rejected"`
 	Graphs       int          `json:"graphs"`
 	Shards       []ShardStats `json:"shards"`
+	// Jobs is the async job census, present when a job manager is wired.
+	Jobs *jobs.Stats `json:"jobs,omitempty"`
 }
 
 type errorBody struct {
@@ -376,12 +389,14 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	opts, err := req.Options.toOptions()
+	opts, err := req.Options.ToOptions()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx := r.Context()
+	// The drain signal rides the context so a queued (not-yet-admitted)
+	// run fails the moment Drain is called, while admitted runs finish.
+	ctx := pushpull.WithDrainSignal(r.Context(), s.draining)
 	if req.Options.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.Options.TimeoutMS)*time.Millisecond)
@@ -393,14 +408,27 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 			// The shard shed this run instead of queueing it: tell the
 			// client (or the cluster router, which fails over on 429)
 			// when to come back rather than letting it queue forever.
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter.Round(time.Second)/time.Second)))
+			// The hint is honest — current queue depth × recent mean
+			// queue wait — so clients back off longer as congestion
+			// actually grows.
+			eta := s.queueETA()
+			if eta < s.retryAfter {
+				eta = s.retryAfter
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(eta)))
 			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		if errors.Is(err, pushpull.ErrDraining) {
+			// Shutting down: the queue this run was parked in will never
+			// move again. 503 sends the client (or router) elsewhere.
+			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildResponse(req, rep))
+	writeJSON(w, http.StatusOK, api.BuildResponse(req.Graph, rep))
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
@@ -414,6 +442,8 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: es.CacheEntries,
 		QueuedRuns:   es.QueuedRuns,
 		QueueWaitNS:  int64(es.QueueWait),
+		Waiting:      es.Waiting,
+		QueueETAMS:   queueETA(es).Milliseconds(),
 		Rejected:     es.Rejected,
 		Graphs:       len(s.eng.WorkloadNames()),
 		Shards:       make([]ShardStats, len(es.Shards)),
@@ -424,119 +454,55 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			Runs:        sh.Runs,
 			QueuedRuns:  sh.QueuedRuns,
 			QueueWaitNS: int64(sh.QueueWait),
+			Waiting:     sh.Waiting,
 			Rejected:    sh.Rejected,
 		}
 	}
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		out.Jobs = &js
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// queueETA estimates how long a run arriving now would wait: the deepest
+// shard's live queue depth × that shard's mean historical queue wait,
+// capped at a minute (past that the number is a guess, not an estimate).
+// Zero when no shard has live waiters or no wait history exists yet.
+func queueETA(es pushpull.EngineStats) time.Duration {
+	var eta time.Duration
+	for _, sh := range es.Shards {
+		if sh.Waiting <= 0 || sh.QueuedRuns == 0 {
+			continue
+		}
+		mean := sh.QueueWait / time.Duration(sh.QueuedRuns)
+		if d := time.Duration(sh.Waiting) * mean; d > eta {
+			eta = d
+		}
+	}
+	if eta > time.Minute {
+		eta = time.Minute
+	}
+	return eta
+}
+
+// queueETA is the server-side wrapper over the live engine snapshot.
+func (s *Server) queueETA() time.Duration { return queueETA(s.eng.Stats()) }
+
+// retryAfterSeconds rounds an ETA up to whole seconds (the Retry-After
+// unit), at least 1.
+func retryAfterSeconds(eta time.Duration) int {
+	secs := int((eta + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // ---- lowering helpers ----
 
 func graphInfo(name string, wl *pushpull.Workload) GraphInfo {
 	return GraphInfo{Name: name, N: wl.N(), M: wl.M(), Kind: wl.Kind(), ID: wl.ID()}
-}
-
-func (o *RunOptions) toOptions() ([]pushpull.Option, error) {
-	var opts []pushpull.Option
-	switch o.Direction {
-	case "", "auto":
-	case "push":
-		opts = append(opts, pushpull.WithDirection(pushpull.Push))
-	case "pull":
-		opts = append(opts, pushpull.WithDirection(pushpull.Pull))
-	default:
-		return nil, fmt.Errorf(`bad "direction" %q (push, pull, auto)`, o.Direction)
-	}
-	if o.Threads != 0 {
-		opts = append(opts, pushpull.WithThreads(o.Threads))
-	}
-	if o.Iterations != 0 {
-		opts = append(opts, pushpull.WithIterations(o.Iterations))
-	}
-	if o.MaxIters != 0 {
-		opts = append(opts, pushpull.WithMaxIters(o.MaxIters))
-	}
-	if o.Source != 0 {
-		opts = append(opts, pushpull.WithSource(pushpull.V(o.Source)))
-	}
-	if len(o.Sources) > 0 {
-		vs := make([]pushpull.V, len(o.Sources))
-		for i, v := range o.Sources {
-			vs[i] = pushpull.V(v)
-		}
-		opts = append(opts, pushpull.WithSources(vs))
-	}
-	if o.Delta != 0 {
-		opts = append(opts, pushpull.WithDelta(o.Delta))
-	}
-	if o.Damping != nil {
-		opts = append(opts, pushpull.WithDamping(*o.Damping))
-	}
-	if o.Partitions != 0 {
-		opts = append(opts, pushpull.WithPartitions(o.Partitions))
-	}
-	if o.PartitionAware {
-		opts = append(opts, pushpull.WithPartitionAwareness())
-	}
-	if o.Ranks != 0 {
-		opts = append(opts, pushpull.WithRanks(o.Ranks))
-	}
-	return opts, nil
-}
-
-func buildResponse(req RunRequest, rep *pushpull.Report) RunResponse {
-	resp := RunResponse{
-		Algorithm: rep.Algorithm,
-		Graph:     req.Graph,
-		Summary:   rep.Summary(),
-		Stats: RunStats{
-			Direction:   statsDirection(rep),
-			Iterations:  rep.Stats.Iterations,
-			ElapsedNS:   int64(rep.Stats.Elapsed),
-			QueueWaitNS: int64(rep.Stats.QueueWait),
-			CacheHit:    rep.Stats.CacheHit,
-			Coalesced:   rep.Stats.Coalesced,
-			Canceled:    rep.Stats.Canceled,
-		},
-	}
-	for _, d := range rep.Directions {
-		resp.Directions = append(resp.Directions, d.String())
-	}
-	resp.Ranks = Floats(rep.Ranks())
-	resp.Counts = rep.Counts()
-	resp.Colors = rep.Colors()
-	if t := rep.Tree(); t != nil {
-		resp.Parents = make([]int64, len(t.Parent))
-		for i, p := range t.Parent {
-			resp.Parents[i] = int64(p)
-		}
-		resp.Levels = t.Level
-	}
-	return resp
-}
-
-// statsDirection names the run's direction in the trace's lowercase
-// vocabulary: "push"/"pull" for uniform runs, "mixed" when a switching
-// run flipped mid-way.
-func statsDirection(rep *pushpull.Report) string {
-	if len(rep.Directions) == 0 {
-		// No trace (e.g. dist-* simulations): fall back to the stats
-		// block's paper-style name, lowered to the API vocabulary.
-		switch rep.Stats.Direction.String() {
-		case "Pushing":
-			return "push"
-		case "Pulling":
-			return "pull"
-		}
-		return "auto"
-	}
-	first := rep.Directions[0]
-	for _, d := range rep.Directions[1:] {
-		if d != first {
-			return "mixed"
-		}
-	}
-	return first.String()
 }
 
 // statusFor maps engine errors onto HTTP statuses: precondition failures
@@ -556,31 +522,6 @@ func statusFor(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
-}
-
-// Floats is a float vector that marshals non-finite entries (NaN, ±Inf —
-// e.g. the +Inf distances sssp assigns unreached vertices) as null,
-// which encoding/json rejects outright in a plain []float64.
-type Floats []float64
-
-// MarshalJSON implements json.Marshaler.
-func (f Floats) MarshalJSON() ([]byte, error) {
-	if f == nil {
-		return []byte("null"), nil
-	}
-	out := make([]byte, 0, 8*len(f)+2)
-	out = append(out, '[')
-	for i, v := range f {
-		if i > 0 {
-			out = append(out, ',')
-		}
-		if math.IsInf(v, 0) || math.IsNaN(v) {
-			out = append(out, "null"...)
-		} else {
-			out = strconv.AppendFloat(out, v, 'g', -1, 64)
-		}
-	}
-	return append(out, ']'), nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -35,6 +35,32 @@ import (
 // cluster router can back off or fail over instead of queueing forever.
 var ErrOverloaded = errors.New("pushpull: shard admission queue full")
 
+// ErrDraining: a queued (not-yet-admitted) run was failed because the
+// process is shutting down. A draining engine finishes the runs already
+// holding worker slots but refuses to start queued work — a serving front
+// maps this to 503 so the client retries against a live replica instead
+// of racing the shutdown timeout in a queue that will never move.
+var ErrDraining = errors.New("pushpull: engine draining, queued run refused")
+
+// drainKey is the context key of WithDrainSignal.
+type drainKey struct{}
+
+// WithDrainSignal returns a context whose runs abandon the admission
+// queue with ErrDraining once signal is closed. Runs that already hold a
+// worker slot are unaffected — this is the "drain in-flight, shed queued"
+// half of a graceful shutdown. The signal rides the context (rather than
+// engine state) so one engine can serve draining and non-draining fronts
+// at once, and so admission keeps composing with per-request deadlines.
+func WithDrainSignal(ctx context.Context, signal <-chan struct{}) context.Context {
+	return context.WithValue(ctx, drainKey{}, signal)
+}
+
+// drainSignal unpacks WithDrainSignal; a nil channel never fires.
+func drainSignal(ctx context.Context) <-chan struct{} {
+	ch, _ := ctx.Value(drainKey{}).(<-chan struct{})
+	return ch
+}
+
 // shard is one executor: an admission queue plus its telemetry. A nil sem
 // admits unboundedly (the default Engine).
 type shard struct {
@@ -78,14 +104,16 @@ func (s *shard) admit(ctx context.Context) (time.Duration, error) {
 		return 0, nil
 	default:
 	}
-	if s.queueLimit > 0 {
-		if s.waiting.Add(1) > int64(s.queueLimit) {
-			s.waiting.Add(-1)
-			s.rejected.Add(1)
-			return 0, fmt.Errorf("%w (%d queued)", ErrOverloaded, s.queueLimit)
-		}
-		defer s.waiting.Add(-1)
+	// waiting is tracked unconditionally (not just under a queue limit):
+	// it is the live queue depth behind the serving front's Retry-After
+	// estimate and the queue_eta_ms stat.
+	depth := s.waiting.Add(1)
+	if s.queueLimit > 0 && depth > int64(s.queueLimit) {
+		s.waiting.Add(-1)
+		s.rejected.Add(1)
+		return 0, fmt.Errorf("%w (%d queued)", ErrOverloaded, s.queueLimit)
 	}
+	defer s.waiting.Add(-1)
 	s.queuedRuns.Add(1)
 	start := time.Now()
 	select {
@@ -93,6 +121,9 @@ func (s *shard) admit(ctx context.Context) (time.Duration, error) {
 		wait := time.Since(start)
 		s.queueWaitNS.Add(int64(wait))
 		return wait, nil
+	case <-drainSignal(ctx):
+		s.queueWaitNS.Add(int64(time.Since(start)))
+		return 0, ErrDraining
 	case <-ctx.Done():
 		s.queueWaitNS.Add(int64(time.Since(start)))
 		return 0, fmt.Errorf("pushpull: canceled in admission queue: %w", ctx.Err())
