@@ -38,19 +38,19 @@ func (b *builtin) Run(ctx context.Context, w *Workload, cfg *Config) (*Report, e
 func init() {
 	for _, b := range []*builtin{
 		{"pr", "PageRank (§3.1, Algorithm 1; +Partition-Awareness §5; directed per §4.8)",
-			Caps{Directed: true, Probes: true, PartitionAware: true}, runPR},
+			Caps{Directed: true, Probes: true, PartitionAware: true, DegreeSort: true, HubCache: true}, runPR},
 		{"tc", "triangle counting (§3.2, Algorithm 2; +Partition-Awareness §5)",
 			Caps{Probes: true, PartitionAware: true}, runTC},
 		{"bfs", "generalized breadth-first search (§3.3, Algorithm 3; Auto = direction-optimizing)",
-			Caps{NeedsSource: true, Probes: true}, runBFS},
+			Caps{NeedsSource: true, Probes: true, DegreeSort: true, HubCache: true}, runBFS},
 		{"sssp", "Δ-stepping shortest paths (§3.4, Algorithm 4; Auto = adaptive switching)",
 			Caps{NeedsWeights: true, NeedsSource: true, Probes: true}, runSSSP},
 		{"bc", "Brandes betweenness centrality (§3.5, Algorithm 5)",
 			Caps{NeedsSource: true, Probes: true}, runBC},
 		{"gc", "Boman graph coloring (§3.6, Algorithm 6; WithSwitchPolicy = Frontier-Exploit+GS/GrS §5)",
-			Caps{Probes: true}, runGC},
+			Caps{Probes: true, DegreeSort: true}, runGC},
 		{"gc-fe", "Frontier-Exploit coloring (§5), optionally with a switch policy",
-			Caps{Probes: true}, runGCFE},
+			Caps{Probes: true, DegreeSort: true}, runGCFE},
 		{"gc-cr", "Conflict-Removal coloring (§5, Algorithm 9)",
 			Caps{Probes: true}, runGCCR},
 		{"mst", "Borůvka minimum spanning tree (§3.7, Algorithm 7)",
@@ -106,6 +106,22 @@ func runPR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		dir = core.Push
 	}
 
+	// Layout options: degree sorting permutes the CSR every kernel runs
+	// on, hub caching splits the pull gather. PA runs keep the plain
+	// layout (its §5 split is laid out over the unpermuted graph;
+	// validateCaps rejects the explicit combination).
+	var lay layout
+	if !cfg.PartitionAware {
+		lay = resolveLayout(w, cfg, true)
+	}
+	if lay.ds != nil {
+		g = lay.ds.G
+	}
+	var hs *HubSplit
+	if dir == core.Pull && lay.hubK > 0 {
+		hs = w.HubSplit(lay.hubK, lay.ds != nil, false)
+	}
+
 	if cfg.Probes {
 		start := time.Now()
 		var ranks []float64
@@ -126,15 +142,21 @@ func runPR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 			rep = grp.Report()
 		} else {
 			prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
-			if dir == core.Push {
+			switch {
+			case dir == core.Push:
 				ranks, err = pr.PushProfiled(g, opt, prof, nil)
-			} else {
+			case hs != nil:
+				ranks, err = pr.PullHubProfiled(g, hs, opt, prof, nil)
+			default:
 				ranks, err = pr.PullProfiled(g, opt, prof, nil)
 			}
 			rep = grp.Report()
 		}
 		if err != nil {
 			return nil, err
+		}
+		if lay.ds != nil {
+			ranks = unpermuteFloats(lay.ds, ranks)
 		}
 		iters := cfg.Iterations
 		if iters <= 0 {
@@ -158,8 +180,13 @@ func runPR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		ranks, stats = pr.PushPA(pa, opt)
 	case dir == core.Push:
 		ranks, stats = pr.Push(g, opt)
+	case hs != nil:
+		ranks, stats = pr.PullHub(g, hs, opt)
 	default:
 		ranks, stats = pr.Pull(g, opt)
+	}
+	if lay.ds != nil {
+		ranks = unpermuteFloats(lay.ds, ranks)
 	}
 	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
 }
@@ -180,9 +207,23 @@ func runPRDirected(ctx context.Context, w *Workload, cfg *Config) (*Report, erro
 	// The two adjacency views of §4.8 — out-edges for pushing, in-edges
 	// for pulling. Only pulling iterates in-edges, so the workload's
 	// memoized transpose is materialized lazily, for pull runs alone.
+	// Degree sorting swaps in the permuted pair of views; hub caching
+	// splits the in-view.
+	lay := resolveLayout(w, cfg, true)
 	dg := &pr.DirectedGraph{Out: w.Graph()}
+	if lay.ds != nil {
+		dg.Out = lay.ds.G
+	}
+	var hs *HubSplit
 	if dir == core.Pull {
-		dg.In = w.Transpose()
+		if lay.ds != nil {
+			dg.In = w.SortedTranspose()
+		} else {
+			dg.In = w.Transpose()
+		}
+		if lay.hubK > 0 {
+			hs = w.HubSplit(lay.hubK, lay.ds != nil, true)
+		}
 	}
 
 	if cfg.Probes {
@@ -190,13 +231,19 @@ func runPRDirected(ctx context.Context, w *Workload, cfg *Config) (*Report, erro
 		prof, grp := core.CountingProfile(cfg.effectiveThreads(w.N()))
 		var ranks []float64
 		var err error
-		if dir == core.Push {
+		switch {
+		case dir == core.Push:
 			ranks, err = pr.PushDirectedProfiled(dg, opt, prof, nil)
-		} else {
+		case hs != nil:
+			ranks, err = pr.PullDirectedHubProfiled(dg, hs, opt, prof, nil)
+		default:
 			ranks, err = pr.PullDirectedProfiled(dg, opt, prof, nil)
 		}
 		if err != nil {
 			return nil, err
+		}
+		if lay.ds != nil {
+			ranks = unpermuteFloats(lay.ds, ranks)
 		}
 		rep := grp.Report()
 		iters := cfg.Iterations
@@ -210,10 +257,16 @@ func runPRDirected(ctx context.Context, w *Workload, cfg *Config) (*Report, erro
 
 	var ranks []float64
 	var stats core.RunStats
-	if dir == core.Push {
+	switch {
+	case dir == core.Push:
 		ranks, stats = pr.PushDirected(dg, opt)
-	} else {
+	case hs != nil:
+		ranks, stats = pr.PullDirectedHub(dg, hs, opt)
+	default:
 		ranks, stats = pr.PullDirected(dg, opt)
+	}
+	if lay.ds != nil {
+		ranks = unpermuteFloats(lay.ds, ranks)
 	}
 	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
 }
@@ -299,18 +352,38 @@ func runBFS(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	case Pull:
 		mode = bfs.ForcePull
 	}
+	// Layout options: the traversal runs on the permuted graph from the
+	// permuted root and the tree is un-permuted at the boundary; the hub
+	// split serves the pull rounds only, so a forced-push run skips
+	// building it.
+	lay := resolveLayout(w, cfg, true)
+	root := cfg.Source
+	if lay.ds != nil {
+		g = lay.ds.G
+		root = lay.ds.Inv[root]
+	}
+	var hs *HubSplit
+	if lay.hubK > 0 && mode != bfs.ForcePush {
+		hs = w.HubSplit(lay.hubK, lay.ds != nil, false)
+	}
 	if cfg.Probes {
 		// Auto stays supported: the Beamer heuristic decides from frontier
 		// sizes, which the instrumented pass reproduces deterministically.
 		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
-		tree, dirs, stats, err := bfs.TraverseFromProfiled(g, cfg.Source, mode, cfg.coreOptions(ctx), prof, nil)
+		tree, dirs, stats, err := bfs.TraverseFromHubProfiled(g, hs, root, mode, cfg.coreOptions(ctx), prof, nil)
 		if err != nil {
 			return nil, err
+		}
+		if lay.ds != nil {
+			tree = unpermuteTree(lay.ds, tree)
 		}
 		rep := grp.Report()
 		return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs), Counters: &rep}, nil
 	}
-	tree, dirs, stats := bfs.TraverseFrom(g, cfg.Source, mode, cfg.coreOptions(ctx))
+	tree, dirs, stats := bfs.TraverseFromHub(g, hs, root, mode, cfg.coreOptions(ctx))
+	if lay.ds != nil {
+		tree = unpermuteTree(lay.ds, tree)
+	}
 	return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs)}, nil
 }
 
@@ -395,6 +468,15 @@ func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	}
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push) // push maintains the exact dirty set
+	// Degree sorting runs the coloring over the permuted graph (hub
+	// caching is not wired for gc — resolveLayout ignores an ambient
+	// AsHubCached here); the colors are un-permuted at the boundary. The
+	// permuted run may pick different (still proper) colors than a plain
+	// one: iteration order is part of Boman coloring's outcome.
+	lay := resolveLayout(w, cfg, false)
+	if lay.ds != nil {
+		g = lay.ds.G
+	}
 	part := NewPartition(g.N(), cfg.partitions(w))
 
 	if cfg.Probes {
@@ -414,9 +496,13 @@ func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		colors := res.Colors
+		if lay.ds != nil {
+			colors = unpermuteColors(lay.ds, colors)
+		}
 		rep := grp.Report()
 		return &Report{
-			Result:     &gc.Result{Colors: res.Colors, Iterations: res.Iterations, NumColors: gc.CountColors(res.Colors)},
+			Result:     &gc.Result{Colors: colors, Iterations: res.Iterations, NumColors: gc.CountColors(colors)},
 			Stats:      RunStats{Direction: dir, Iterations: res.Iterations, Elapsed: time.Since(start)},
 			Directions: uniformTrace(dir, res.Iterations),
 			Counters:   &rep,
@@ -433,6 +519,9 @@ func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if lay.ds != nil {
+		res = unpermuteColoring(lay.ds, res)
+	}
 	return &Report{Result: res, Stats: res.Stats, Directions: uniformTrace(dir, res.Stats.Iterations)}, nil
 }
 
@@ -440,6 +529,10 @@ func runGCFE(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	g := w.Graph()
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push)
+	lay := resolveLayout(w, cfg, false)
+	if lay.ds != nil {
+		g = lay.ds.G
+	}
 	// The built-in policies are re-instantiated per run: GenericSwitch
 	// latches one-shot state after flipping, so handing the caller's
 	// pointer straight to the algorithm would silently disable switching
@@ -457,10 +550,16 @@ func runGCFE(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if lay.ds != nil {
+			res = unpermuteColoring(lay.ds, res)
+		}
 		rep := grp.Report()
 		return &Report{Result: res, Stats: res.Stats, Directions: coreTrace(res.Dirs), Counters: &rep}, nil
 	}
 	res := gc.FrontierExploit(g, opt, dir, policy)
+	if lay.ds != nil {
+		res = unpermuteColoring(lay.ds, res)
+	}
 	// The trace records each iteration's actual direction, so a
 	// GenericSwitch flip mid-run is visible in Directions.
 	return &Report{Result: res, Stats: res.Stats, Directions: coreTrace(res.Dirs)}, nil

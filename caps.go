@@ -34,6 +34,17 @@ type Caps struct {
 	// PartitionAware marks algorithms supporting the §5 Partition-
 	// Awareness acceleration; others fail with ErrPartitionAwareUnsupported.
 	PartitionAware bool
+	// DegreeSort marks algorithms that can run over the degree-sorted CSR
+	// permutation (WithDegreeSorted / AsDegreeSorted), un-permuting their
+	// report at the boundary; an explicit WithDegreeSorted on others fails
+	// with ErrDegreeSortUnsupported (the workload-level declaration is an
+	// ambient default and is ignored where unsupported).
+	DegreeSort bool
+	// HubCache marks algorithms whose pull kernels support the hub-cached
+	// split (WithHubCache / AsHubCached); an explicit WithHubCache on
+	// others fails with ErrHubCacheUnsupported (the workload-level
+	// declaration is ignored where unsupported).
+	HubCache bool
 }
 
 // String renders the capability set as a compact tag list.
@@ -52,6 +63,8 @@ func (c Caps) String() string {
 	add(c.Directed, "directed")
 	add(c.Probes, "probes")
 	add(c.PartitionAware, "pa")
+	add(c.DegreeSort, "degree-sort")
+	add(c.HubCache, "hub-cache")
 	if out == "" {
 		return "-"
 	}
@@ -73,6 +86,12 @@ var (
 	// ErrPartitionAwareUnsupported: the algorithm has no Partition-
 	// Awareness acceleration.
 	ErrPartitionAwareUnsupported = errors.New("partition awareness unsupported")
+	// ErrDegreeSortUnsupported: the algorithm cannot run over the
+	// degree-sorted layout.
+	ErrDegreeSortUnsupported = errors.New("degree-sorted (WithDegreeSorted) runs unsupported")
+	// ErrHubCacheUnsupported: the algorithm's pull kernel has no
+	// hub-cached variant.
+	ErrHubCacheUnsupported = errors.New("hub-cached (WithHubCache) runs unsupported")
 	// ErrBadSource: a configured source vertex is outside the workload's
 	// vertex range.
 	ErrBadSource = errors.New("source vertex out of range")
@@ -94,6 +113,8 @@ func validateOptions(cfg *Config) error {
 		return fmt.Errorf("pushpull: WithPartitions(%d): %w (0 means the resolved thread count)", cfg.Partitions, ErrBadOption)
 	case cfg.Ranks < 0:
 		return fmt.Errorf("pushpull: WithRanks(%d): %w (0 means the default cluster size)", cfg.Ranks, ErrBadOption)
+	case cfg.HubCache < AutoHubCache:
+		return fmt.Errorf("pushpull: WithHubCache(%d): %w (0 defers to the workload, AutoHubCache picks the size)", cfg.HubCache, ErrBadOption)
 	}
 	return nil
 }
@@ -118,6 +139,18 @@ func validateCaps(a Algorithm, w *Workload, cfg *Config) error {
 	}
 	if (cfg.PartitionAware || cfg.PA != nil) && !caps.PartitionAware {
 		return fmt.Errorf("pushpull: %s with WithPartitionAwareness: %w", name, ErrPartitionAwareUnsupported)
+	}
+	if cfg.DegreeSorted && !caps.DegreeSort {
+		return fmt.Errorf("pushpull: %s with WithDegreeSorted: %w", name, ErrDegreeSortUnsupported)
+	}
+	if cfg.HubCache != 0 && !caps.HubCache {
+		return fmt.Errorf("pushpull: %s with WithHubCache: %w", name, ErrHubCacheUnsupported)
+	}
+	// The PA split is laid out over the plain graph, so the explicit
+	// layout options do not compose with Partition-Awareness (the
+	// workload-level declarations are simply not applied there).
+	if (cfg.DegreeSorted || cfg.HubCache != 0) && (cfg.PartitionAware || cfg.PA != nil) {
+		return fmt.Errorf("pushpull: %s: degree-sort/hub-cache with WithPartitionAwareness: %w (the §5 split is defined over the plain layout)", name, ErrBadOption)
 	}
 	if caps.NeedsSource {
 		if n := w.N(); n > 0 {

@@ -1,26 +1,35 @@
 // Command benchjson seeds and extends the repo's tracked perf
 // trajectory: it runs every shared-memory registry algorithm in both
-// directions on a suite workload, measures the serving layers (cached,
-// coalesced and uncached Engine runs), and writes one machine-readable
-// JSON file — BENCH_pr<N>.json — so perf claims land as numbers in the
-// tree instead of prose in PR messages.
+// directions on a suite of workloads, measures the serving layers
+// (cached, coalesced and uncached Engine runs), and writes one
+// machine-readable JSON file — BENCH_pr<N>.json — so perf claims land
+// as numbers in the tree instead of prose in PR messages.
 //
-//	go run ./cmd/benchjson -out BENCH_pr6.json
-//	go run ./cmd/benchjson -scale 0.1 -reps 1 -out /tmp/bench.json  # CI smoke
+//	go run ./cmd/benchjson -out BENCH_pr9.json
+//	go run ./cmd/benchjson -scale 0.1 -reps 1 -validate -out /tmp/bench.json  # CI smoke
 //
-// Per (algorithm, direction) the file records the kernel's Stats.Elapsed
-// (best of -reps runs — workload construction, transposes and PA splits
-// are excluded by construction, they are memoized on the Workload
-// handle) and ns/edge, the normalization the paper's tables use.
+// Every kernel row is self-describing: it records its graph, thread
+// count (GOMAXPROCS is pinned per row), layout variant (plain,
+// degree-sorted, hub-cached, or both — the off-switch baseline is the
+// "plain" row), the kernel's Stats.Elapsed (minimum over -reps runs;
+// workload construction, transposes, permutations and hub splits are
+// excluded by construction, they are memoized on the Workload handle),
+// ns/edge — the normalization the paper's tables use — and the peak
+// RSS observed while the row ran. With -validate each layout variant's
+// payload is cross-checked against the plain kernel's before the row
+// is recorded.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,11 +37,19 @@ import (
 )
 
 type kernelEntry struct {
-	Algorithm  string  `json:"algorithm"`
-	Direction  string  `json:"direction"`
-	Iterations int     `json:"iterations"`
-	ElapsedNS  int64   `json:"elapsed_ns"`
-	NSPerEdge  float64 `json:"ns_per_edge"`
+	Graph        string  `json:"graph"`
+	Algorithm    string  `json:"algorithm"`
+	Direction    string  `json:"direction"`
+	Variant      string  `json:"variant"`
+	DegreeSorted bool    `json:"degree_sorted"`
+	HubCache     int     `json:"hub_cache"`
+	Threads      int     `json:"threads"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Iterations   int     `json:"iterations"`
+	Reps         int     `json:"reps"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	NSPerEdge    float64 `json:"ns_per_edge"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
 }
 
 type engineEntry struct {
@@ -55,80 +72,96 @@ type benchFile struct {
 	GeneratedUnix int64         `json:"generated_unix"`
 	Go            string        `json:"go"`
 	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Graph         graphEntry    `json:"graph"`
+	Graphs        []graphEntry  `json:"graphs"`
 	Kernels       []kernelEntry `json:"kernels"`
 	Engine        engineEntry   `json:"engine"`
 }
 
+// variant is one layout configuration of a kernel row. HubCache uses the
+// Config encoding: 0 off, pushpull.AutoHubCache for the degree-derived k.
+type variant struct {
+	name         string
+	degreeSorted bool
+	hubCache     int
+}
+
+// variantsFor returns the layout variants worth measuring for an
+// (algorithm, direction) pair: the plain baseline always (the
+// off-switch row the acceptance gate compares against), degree sorting
+// where the algorithm's caps accept it, and the hub cache only on the
+// pull side where the kernels read it.
+func variantsFor(algo string, dir pushpull.Direction) []variant {
+	vs := []variant{{name: "plain"}}
+	switch algo {
+	case "pr", "bfs":
+		vs = append(vs, variant{name: "ds", degreeSorted: true})
+		if dir == pushpull.Pull {
+			vs = append(vs,
+				variant{name: "hub", hubCache: pushpull.AutoHubCache},
+				variant{name: "ds+hub", degreeSorted: true, hubCache: pushpull.AutoHubCache})
+		}
+	case "gc", "gc-fe":
+		vs = append(vs, variant{name: "ds", degreeSorted: true})
+	}
+	return vs
+}
+
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output file")
-	pr := flag.String("pr", "6", "PR number this trajectory point belongs to")
-	graphID := flag.String("graph", "rmat", "suite workload id")
+	out := flag.String("out", "BENCH_pr9.json", "output file")
+	pr := flag.String("pr", "9", "PR number this trajectory point belongs to")
+	graphList := flag.String("graphs", "rmat,er", "comma-separated suite workload ids (high-skew rmat vs uniform er by default)")
 	scale := flag.Float64("scale", 1.0, "workload scale multiplier")
 	seed := flag.Uint64("seed", 42, "generator seed")
-	reps := flag.Int("reps", 3, "runs per (algorithm, direction); the best is recorded")
+	reps := flag.Int("reps", 3, "runs per row; the minimum is recorded")
 	iters := flag.Int("iters", 20, "pr iteration count")
+	threadList := flag.String("threads", "1", "comma-separated thread counts; GOMAXPROCS is pinned to each in turn")
+	validate := flag.Bool("validate", false, "cross-validate each layout variant's payload against the plain kernel")
 	flag.Parse()
 
-	g, err := pushpull.NamedWeightedGraph(*graphID, *scale, *seed)
+	threads, err := parseInts(*threadList)
 	if err != nil {
-		fatal("workload: %v", err)
+		fatal("-threads: %v", err)
 	}
-	w := pushpull.NewWorkload(g, pushpull.AsWeighted())
+
+	hostProcs := runtime.GOMAXPROCS(0)
 	file := benchFile{
 		PR:            *pr,
 		GeneratedUnix: time.Now().Unix(),
 		Go:            runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Graph:         graphEntry{ID: *graphID, Scale: *scale, Seed: *seed, N: w.N(), M: w.M()},
+		GOMAXPROCS:    hostProcs,
 	}
 
 	ctx := context.Background()
 	algorithms := []string{"pr", "tc", "bfs", "sssp", "bc", "gc", "gc-fe", "gc-cr", "mst"}
-	for _, algo := range algorithms {
-		for _, dir := range []pushpull.Direction{pushpull.Push, pushpull.Pull} {
-			opts := []pushpull.Option{pushpull.WithDirection(dir)}
-			if algo == "pr" {
-				opts = append(opts, pushpull.WithIterations(*iters))
-			}
-			if algo == "bc" {
-				// Exact Brandes is O(n·m): sample sources like the
-				// paper's BC runs (and the CLI default) do.
-				var sources []pushpull.V
-				for v := 0; v < w.N() && v < 8; v++ {
-					sources = append(sources, pushpull.V(v))
-				}
-				opts = append(opts, pushpull.WithSources(sources))
-			}
-			best := int64(0)
-			iterations := 0
-			skipped := false
-			for r := 0; r < *reps; r++ {
-				rep, err := pushpull.Run(ctx, w, algo, opts...)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "benchjson: skipping %s/%v: %v\n", algo, dir, err)
-					skipped = true
-					break
-				}
-				if e := int64(rep.Stats.Elapsed); best == 0 || e < best {
-					best = e
-					iterations = rep.Stats.Iterations
-				}
-			}
-			if skipped {
-				continue
-			}
-			file.Kernels = append(file.Kernels, kernelEntry{
-				Algorithm:  algo,
-				Direction:  dirName(dir),
-				Iterations: iterations,
-				ElapsedNS:  best,
-				NSPerEdge:  float64(best) / float64(w.M()),
-			})
+	var firstWorkload *pushpull.Workload
+	for _, graphID := range strings.Split(*graphList, ",") {
+		graphID = strings.TrimSpace(graphID)
+		if graphID == "" {
+			continue
+		}
+		g, err := pushpull.NamedWeightedGraph(graphID, *scale, *seed)
+		if err != nil {
+			fatal("workload %s: %v", graphID, err)
+		}
+		w := pushpull.NewWorkload(g, pushpull.AsWeighted())
+		if firstWorkload == nil {
+			firstWorkload = w
+		}
+		file.Graphs = append(file.Graphs, graphEntry{
+			ID: graphID, Scale: *scale, Seed: *seed, N: w.N(), M: w.M(),
+		})
+		for _, t := range threads {
+			prev := runtime.GOMAXPROCS(t)
+			rows := benchGraph(ctx, w, graphID, algorithms, t, *iters, *reps, *validate)
+			runtime.GOMAXPROCS(prev)
+			file.Kernels = append(file.Kernels, rows...)
 		}
 	}
+	if firstWorkload == nil {
+		fatal("-graphs: no workloads")
+	}
 
-	file.Engine = engineNumbers(ctx, w, *iters, *reps)
+	file.Engine = engineNumbers(ctx, firstWorkload, *iters, *reps)
 
 	buf, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
@@ -138,8 +171,190 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal("writing %s: %v", *out, err)
 	}
-	fmt.Printf("wrote %s: %d kernel points on %s (n=%d m=%d)\n",
-		*out, len(file.Kernels), *graphID, file.Graph.N, file.Graph.M)
+	fmt.Printf("wrote %s: %d kernel rows over %d graph(s), threads %v\n",
+		*out, len(file.Kernels), len(file.Graphs), threads)
+}
+
+// benchGraph measures every (algorithm, direction, variant) row on one
+// workload at one thread count. GOMAXPROCS is already pinned by the
+// caller; the same value goes into the row so multi-thread files stay
+// self-describing.
+func benchGraph(ctx context.Context, w *pushpull.Workload, graphID string, algorithms []string, threads, iters, reps int, validate bool) []kernelEntry {
+	var rows []kernelEntry
+	for _, algo := range algorithms {
+		for _, dir := range []pushpull.Direction{pushpull.Push, pushpull.Pull} {
+			// The plain row runs first so layout variants can
+			// cross-validate against its payload.
+			var plain *pushpull.Report
+			for _, v := range variantsFor(algo, dir) {
+				opts := []pushpull.Option{
+					pushpull.WithDirection(dir),
+					pushpull.WithThreads(threads),
+				}
+				if v.degreeSorted {
+					opts = append(opts, pushpull.WithDegreeSorted())
+				}
+				if v.hubCache != 0 {
+					opts = append(opts, pushpull.WithHubCache(v.hubCache))
+				}
+				if algo == "pr" {
+					opts = append(opts, pushpull.WithIterations(iters))
+				}
+				if algo == "bc" {
+					// Exact Brandes is O(n·m): sample sources like the
+					// paper's BC runs (and the CLI default) do.
+					var sources []pushpull.V
+					for s := 0; s < w.N() && s < 8; s++ {
+						sources = append(sources, pushpull.V(s))
+					}
+					opts = append(opts, pushpull.WithSources(sources))
+				}
+
+				best := int64(0)
+				iterations := 0
+				skipped := false
+				rss := startRSSSampler()
+				var last *pushpull.Report
+				for r := 0; r < reps; r++ {
+					rep, err := pushpull.Run(ctx, w, algo, opts...)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "benchjson: skipping %s/%s/%s/%s: %v\n",
+							graphID, algo, dirName(dir), v.name, err)
+						skipped = true
+						break
+					}
+					last = rep
+					if e := int64(rep.Stats.Elapsed); best == 0 || e < best {
+						best = e
+						iterations = rep.Stats.Iterations
+					}
+				}
+				peak := rss.Stop()
+				if skipped {
+					continue
+				}
+				if v.name == "plain" {
+					plain = last
+				} else if validate && plain != nil {
+					if err := crossValidate(w, algo, plain, last); err != nil {
+						fatal("validate %s/%s/%s/%s: %v", graphID, algo, dirName(dir), v.name, err)
+					}
+				}
+				rows = append(rows, kernelEntry{
+					Graph:        graphID,
+					Algorithm:    algo,
+					Direction:    dirName(dir),
+					Variant:      v.name,
+					DegreeSorted: v.degreeSorted,
+					HubCache:     v.hubCache,
+					Threads:      threads,
+					GOMAXPROCS:   runtime.GOMAXPROCS(0),
+					Iterations:   iterations,
+					Reps:         reps,
+					ElapsedNS:    best,
+					NSPerEdge:    float64(best) / float64(w.M()),
+					PeakRSSBytes: peak,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// crossValidate checks a layout variant's payload against the plain
+// kernel's: rank vectors elementwise (loose where atomic scatter order
+// is nondeterministic), BFS levels exactly (levels are unique even when
+// parents are not), colorings for properness.
+func crossValidate(w *pushpull.Workload, algo string, plain, got *pushpull.Report) error {
+	switch {
+	case plain.Ranks() != nil:
+		tol := 1e-9
+		if algo != "pr" {
+			tol = 1e-6
+		}
+		if d := pushpull.MaxDiff(plain.Ranks(), got.Ranks()); d > tol {
+			return fmt.Errorf("rank payload diverges from plain kernel: max diff %g", d)
+		}
+	case plain.Tree() != nil:
+		pt, gt := plain.Tree(), got.Tree()
+		if len(pt.Level) != len(gt.Level) {
+			return fmt.Errorf("level vector length %d vs plain %d", len(gt.Level), len(pt.Level))
+		}
+		for v := range pt.Level {
+			if pt.Level[v] != gt.Level[v] {
+				return fmt.Errorf("vertex %d at level %d, plain kernel says %d", v, gt.Level[v], pt.Level[v])
+			}
+		}
+	case plain.Colors() != nil:
+		if err := pushpull.ValidateColoring(w.Graph(), got.Colors()); err != nil {
+			return fmt.Errorf("improper coloring: %w", err)
+		}
+	}
+	return nil
+}
+
+// rssSampler polls VmRSS from /proc/self/status while a row runs and
+// keeps the maximum. Peak RSS — not the post-run value — is what the
+// hub split and permutation buffers show up in.
+type rssSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak int64
+}
+
+func startRSSSampler() *rssSampler {
+	s := &rssSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if r := readVmRSS(); r > s.peak {
+				s.peak = r
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and returns the peak observed RSS in bytes (0 when
+// /proc is unavailable).
+func (s *rssSampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	return s.peak
+}
+
+// readVmRSS parses the resident set size out of /proc/self/status,
+// returning bytes, or 0 off Linux.
+func readVmRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // engineNumbers measures what the serving layers buy: a real kernel per
@@ -198,6 +413,26 @@ func engineNumbers(ctx context.Context, w *pushpull.Workload, iters, reps int) e
 	out.CoalescedNSPerOp = int64(time.Since(start)) / int64(total)
 	out.CoalescedRatio = float64(coalescing.Stats().Coalesced) / float64(total)
 	return out
+}
+
+// parseInts parses a comma-separated list of positive ints.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func dirName(d pushpull.Direction) string {

@@ -80,6 +80,17 @@ type Config struct {
 	Filter EdgeFilter
 	// Heuristic overrides the switch parameters in Auto mode.
 	Heuristic frontier.SwitchHeuristic
+	// Hub optionally supplies graph.BuildHubSplit(g, k) for the same g.
+	// Pull rounds then test each row's hub prefix against a k-slot frontier
+	// bitmap (cache-resident on skewed graphs) and only chase the residual
+	// suffix through the full n-bit bitmap.
+	Hub *graph.HubSplit
+	// EarlyOut lets a pull round stop scanning a vertex's neighbors once
+	// its ready counter reaches zero. Safe only when later combines cannot
+	// change the result (plain BFS claims one parent); generalized runs
+	// like betweenness centrality need every combine and must leave this
+	// off.
+	EarlyOut bool
 }
 
 // Run executes the generalized BFS, returning the number of rounds and
@@ -104,7 +115,124 @@ func Run(g *graph.CSR, cfg *Config, ops Ops) (rounds int, dirs []core.Direction,
 	}
 	perThread := frontier.NewPerThread(t)
 	inF := frontier.NewBitmap(n)
+	hs := cfg.Hub
+	var hubF *frontier.Bitmap
+	if hs != nil {
+		hubF = frontier.NewBitmap(hs.K)
+	}
+	dirs = make([]core.Direction, 0, 64)
+	stats.Reserve(64)
 	unexplored := g.M()
+
+	// Round bodies are hoisted out of the loop (capturing curVerts through
+	// a variable reassigned each round): a func literal inside the loop
+	// would allocate its capture record every round, and steady-state
+	// rounds must not allocate.
+	var curVerts []graph.V
+	// Push sub-step 1: R[w] ⇐ R[v] for all frontier edges with ready[w] >
+	// 0. Combines and ready-notifications run in two sub-steps (the
+	// lockstep separation the PRAM formulation implies), so a
+	// late-combining thread can never observe an already-notified neighbor.
+	combineBody := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := curVerts[i]
+			for _, u := range g.Neighbors(v) {
+				if cfg.Filter != nil && !cfg.Filter(v, u) {
+					continue
+				}
+				if atomic.LoadInt32(&cfg.Ready[u]) > 0 {
+					ops.PushCombine(u, v)
+				}
+			}
+		}
+	}
+	// Push sub-step 2: decrement ready counters; exactly the decrement
+	// that reaches zero enqueues the vertex (the k-filter of §4.3).
+	notifyBody := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := curVerts[i]
+			for _, u := range g.Neighbors(v) {
+				if cfg.Filter != nil && !cfg.Filter(v, u) {
+					continue
+				}
+				if atomic.AddInt32(&cfg.Ready[u], -1) == 0 {
+					perThread.Add(w, u)
+				}
+			}
+		}
+	}
+	// Pull round: every vertex with a positive ready counter scans its
+	// neighbors for frontier members; all state it modifies is its own
+	// (t = t[v]), so no atomics are used anywhere. With a hub split the
+	// row's hub prefix tests slot ids against the k-bit hubF instead of
+	// the n-bit inF, and EarlyOut stops the scan once the counter hits 0.
+	pullBody := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			if cfg.Ready[v] <= 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter; push rounds' atomics never run concurrently with this
+				continue
+			}
+			if hs != nil {
+				done := false
+				for _, s := range hs.HubRow(v) {
+					if !hubF.Get(s) {
+						continue
+					}
+					u := hs.Hubs[s]
+					// The G′ edge direction is u → v: u pushes in the
+					// push formulation, so pulling asks filter(u, v).
+					if cfg.Filter != nil && !cfg.Filter(u, v) {
+						continue
+					}
+					ops.PullCombine(v, u)
+					cfg.Ready[v]--         //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+					if cfg.Ready[v] == 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+						perThread.Add(w, v)
+						if cfg.EarlyOut {
+							done = true
+							break
+						}
+					}
+				}
+				if done {
+					continue
+				}
+				for _, u := range hs.ResidualRow(v) {
+					if cfg.Filter != nil && !cfg.Filter(u, v) {
+						continue
+					}
+					if !inF.Get(u) {
+						continue
+					}
+					ops.PullCombine(v, u)
+					cfg.Ready[v]--         //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+					if cfg.Ready[v] == 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+						perThread.Add(w, v)
+						if cfg.EarlyOut {
+							break
+						}
+					}
+				}
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if cfg.Filter != nil && !cfg.Filter(u, v) {
+					continue
+				}
+				if !inF.Get(u) {
+					continue
+				}
+				ops.PullCombine(v, u)
+				cfg.Ready[v]--         //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+				if cfg.Ready[v] == 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
+					perThread.Add(w, v)
+					if cfg.EarlyOut {
+						break
+					}
+				}
+			}
+		}
+	}
 
 	for cur.Len() > 0 {
 		if cfg.Canceled() {
@@ -119,15 +247,30 @@ func Run(g *graph.CSR, cfg *Config, ops Ops) (rounds int, dirs []core.Direction,
 		case ForcePush:
 			usePull = false
 		default:
-			usePull = h.UsePull(cur.EdgeWork(g), unexplored, cur.Len(), n)
+			// EdgeWork scans the frontier, so compute it once and only
+			// when the heuristic actually needs it.
+			ew := cur.EdgeWork(g)
+			usePull = h.UsePull(ew, unexplored, cur.Len(), n)
+			unexplored -= ew
 		}
-		unexplored -= cur.EdgeWork(g)
+		curVerts = cur.Vertices()
 
 		if usePull {
-			pullRound(g, cfg, ops, cur, perThread, inF, t)
+			inF.Clear()
+			inF.FromSparse(cur)
+			if hs != nil {
+				hubF.Clear()
+				for _, v := range curVerts {
+					if s := hs.Slot[v]; s >= 0 {
+						hubF.SetSeq(graph.V(s))
+					}
+				}
+			}
+			sched.ParallelFor(n, t, sched.Static, 0, pullBody)
 			dirs = append(dirs, core.Pull)
 		} else {
-			pushRound(g, cfg, ops, cur, perThread, t)
+			sched.ParallelFor(len(curVerts), t, sched.Static, 0, combineBody)
+			sched.ParallelFor(len(curVerts), t, sched.Static, 0, notifyBody)
 			dirs = append(dirs, core.Push)
 		}
 		perThread.Merge(cur)
@@ -137,73 +280,6 @@ func Run(g *graph.CSR, cfg *Config, ops Ops) (rounds int, dirs []core.Direction,
 		cfg.Tick(rounds-1, el)
 	}
 	return rounds, dirs, stats
-}
-
-// pushRound explores top-down. Combines and ready-notifications run in two
-// sub-steps (the lockstep separation the PRAM formulation implies), so a
-// late-combining thread can never observe an already-notified neighbor.
-func pushRound(g *graph.CSR, cfg *Config, ops Ops, cur *frontier.Sparse, out *frontier.PerThread, t int) {
-	verts := cur.Vertices()
-	// Sub-step 1: R[w] ⇐ R[v] for all frontier edges with ready[w] > 0.
-	sched.ParallelFor(len(verts), t, sched.Static, 0, func(w, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := verts[i]
-			for _, u := range g.Neighbors(v) {
-				if cfg.Filter != nil && !cfg.Filter(v, u) {
-					continue
-				}
-				if atomic.LoadInt32(&cfg.Ready[u]) > 0 {
-					ops.PushCombine(u, v)
-				}
-			}
-		}
-	})
-	// Sub-step 2: decrement ready counters; exactly the decrement that
-	// reaches zero enqueues the vertex (the k-filter of §4.3).
-	sched.ParallelFor(len(verts), t, sched.Static, 0, func(w, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := verts[i]
-			for _, u := range g.Neighbors(v) {
-				if cfg.Filter != nil && !cfg.Filter(v, u) {
-					continue
-				}
-				if atomic.AddInt32(&cfg.Ready[u], -1) == 0 {
-					out.Add(w, u)
-				}
-			}
-		}
-	})
-}
-
-// pullRound explores bottom-up: every vertex with a positive ready counter
-// scans its neighbors for frontier members; all state it modifies is its
-// own (t = t[v]), so no atomics are used anywhere.
-func pullRound(g *graph.CSR, cfg *Config, ops Ops, cur *frontier.Sparse, out *frontier.PerThread, inF *frontier.Bitmap, t int) {
-	inF.Clear()
-	inF.FromSparse(cur)
-	sched.ParallelFor(g.N(), t, sched.Static, 0, func(w, lo, hi int) {
-		for vi := lo; vi < hi; vi++ {
-			v := graph.V(vi)
-			if cfg.Ready[v] <= 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter; push rounds' atomics never run concurrently with this
-				continue
-			}
-			for _, u := range g.Neighbors(v) {
-				// The G′ edge direction is u → v: u pushes in the push
-				// formulation, so pulling asks filter(u, v).
-				if cfg.Filter != nil && !cfg.Filter(u, v) {
-					continue
-				}
-				if !inF.Get(u) {
-					continue
-				}
-				ops.PullCombine(v, u)
-				cfg.Ready[v]--         //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
-				if cfg.Ready[v] == 0 { //pushpull:allow atomicmix pull rounds: only v's owner touches v's counter
-					out.Add(w, v)
-				}
-			}
-		}
-	})
 }
 
 // Tree is the result of a plain BFS traversal: a parent pointer and level
@@ -235,6 +311,14 @@ func (o *treeOps) PullCombine(v, w graph.V) {
 // TraverseFrom runs a plain BFS from root in the given mode, returning the
 // tree, the per-round direction trace, and timing stats.
 func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tree, []core.Direction, core.RunStats) {
+	return TraverseFromHub(g, nil, root, mode, opt)
+}
+
+// TraverseFromHub is TraverseFrom over a hub split (nil = plain). Plain
+// BFS claims exactly one parent per vertex, so pull rounds early-out the
+// moment the claim lands — on skewed graphs most vertices find their
+// parent inside the hub prefix and never touch the residual scan.
+func TraverseFromHub(g *graph.CSR, hs *graph.HubSplit, root graph.V, mode Mode, opt core.Options) (*Tree, []core.Direction, core.RunStats) {
 	n := g.N()
 	ops := &treeOps{parent: make([]int32, n), level: make([]int32, n)}
 	for i := range ops.parent {
@@ -250,7 +334,7 @@ func TraverseFrom(g *graph.CSR, root graph.V, mode Mode, opt core.Options) (*Tre
 		ops.parent[root] = int32(root) //pushpull:allow atomicmix single-threaded init before the traversal starts
 		ops.level[root] = 0            //pushpull:allow atomicmix single-threaded init before the traversal starts
 	}
-	cfg := &Config{Options: opt, Ready: ready, Mode: mode}
+	cfg := &Config{Options: opt, Ready: ready, Mode: mode, Hub: hs, EarlyOut: true}
 	_, dirs, stats := Run(g, cfg, ops)
 
 	tree := &Tree{Parent: make([]graph.V, n), Level: make([]int32, n)}

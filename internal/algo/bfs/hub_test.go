@@ -1,0 +1,89 @@
+package bfs
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
+	"pushpull/internal/gen"
+	"pushpull/internal/graph"
+)
+
+func TestTraverseHubAllModes(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refLevels(g, 0)
+	for _, k := range []int{0, 1, 64, 512} {
+		hs := graph.BuildHubSplit(g, k)
+		for _, m := range modes() {
+			tree, _, stats := TraverseFromHub(g, hs, 0, m, core.Options{Threads: 4})
+			checkTree(t, g, 0, tree, want)
+			if stats.Iterations == 0 {
+				t.Fatalf("k=%d mode %v: no rounds recorded", k, m)
+			}
+		}
+	}
+}
+
+func TestTraverseHubOnDegreeSorted(t *testing.T) {
+	// The engine's composition: permute, hub-split the permuted view,
+	// traverse from the permuted root, un-permute levels at the boundary.
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refLevels(g, 0)
+	ds := graph.SortByDegree(g)
+	hs := graph.BuildHubSplit(ds.G, 64)
+	tree, _, _ := TraverseFromHub(ds.G, hs, ds.Inv[0], ForcePull, core.Options{Threads: 4})
+	for old := 0; old < g.N(); old++ {
+		if got := tree.Level[ds.Inv[old]]; got != want[old] {
+			t.Fatalf("level[%d] = %d, want %d", old, got, want[old])
+		}
+	}
+}
+
+func TestTraverseHubProfiledParity(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := graph.BuildHubSplit(g, 32)
+	want, _, _ := TraverseFromHub(g, hs, 0, ForcePull, core.Options{Threads: 3})
+	prof, grp := core.CountingProfile(3)
+	tree, dirs, _, err := TraverseFromHubProfiled(g, hs, 0, ForcePull, core.Options{}, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Level {
+		if tree.Level[v] != want.Level[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, tree.Level[v], want.Level[v])
+		}
+	}
+	for _, d := range dirs {
+		if d != core.Pull {
+			t.Fatalf("forced pull traced %v", d)
+		}
+	}
+	if grp.Report().Get(counters.Atomics) != 0 {
+		t.Fatal("pull rounds charged atomics")
+	}
+}
+
+// Early-out must not change levels in any mode, and on a hub-heavy graph
+// the hub prefix must be where most parents are found: the residual scan of
+// a pure star graph never runs.
+func TestTraverseHubStarResolvesInPrefix(t *testing.T) {
+	g := gen.Star(64)
+	hs := graph.BuildHubSplit(g, 1)
+	want := refLevels(g, 0)
+	tree, _, _ := TraverseFromHub(g, hs, 0, ForcePull, core.Options{})
+	checkTree(t, g, 0, tree, want)
+	for v := 1; v < 64; v++ {
+		if tree.Parent[v] != 0 {
+			t.Fatalf("parent[%d] = %d, want hub 0", v, tree.Parent[v])
+		}
+	}
+}

@@ -75,6 +75,7 @@ func PushDirected(dg *DirectedGraph, opt Options) ([]float64, core.RunStats) {
 	if n == 0 {
 		return pr, stats
 	}
+	stats.Reserve(opt.Iterations)
 	t := sched.Clamp(opt.Threads, n)
 	for i := range pr {
 		pr[i] = 1 / float64(n)
@@ -135,6 +136,7 @@ func PullDirected(dg *DirectedGraph, opt Options) ([]float64, core.RunStats) {
 	if n == 0 {
 		return pr, stats
 	}
+	stats.Reserve(opt.Iterations)
 	t := sched.Clamp(opt.Threads, n)
 	for i := range pr {
 		pr[i] = 1 / float64(n)

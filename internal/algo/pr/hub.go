@@ -1,0 +1,339 @@
+package pr
+
+import (
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+	"pushpull/internal/sched"
+)
+
+// Hub-cached pull PageRank, after "A New Frontier for Pull-Based Graph
+// Processing": the plain pull gather pays two random reads per edge —
+// pr[u] and d(u) — and on skewed graphs most of those land on the same
+// few high-degree hubs. The hub split assigns those vertices compact slot
+// ids, and each iteration refreshes a k-entry contribution cache
+// (contrib[s] = pr[hub]/d(hub)) once; the gather then serves every
+// hub-prefix edge from the cache-resident array and only chases the
+// residual suffix through the full-size state. The per-vertex sum adds
+// hub contributions first, then residuals, so ranks match the plain
+// kernels up to floating-point reassociation (≤1e-9 in practice), not
+// bit-for-bit.
+
+// PullHub runs pull PageRank over an undirected CSR with the hub cache.
+// hs must be BuildHubSplit(g, k) for the same g.
+func PullHub(g *graph.CSR, hs *graph.HubSplit, opt Options) ([]float64, core.RunStats) {
+	opt.defaults()
+	n := g.N()
+	stats := core.RunStats{Direction: core.Pull}
+	pr := make([]float64, n)
+	if n == 0 {
+		return pr, stats
+	}
+	stats.Reserve(opt.Iterations)
+	t := sched.Clamp(opt.Threads, n)
+	initRank := 1 / float64(n)
+	for i := range pr {
+		pr[i] = initRank
+	}
+	next := make([]float64, n)
+	contrib := make([]float64, hs.K)
+	base := (1 - opt.Damping) / float64(n)
+	// Hoisted bodies: pr and next are captured by reference so the
+	// per-round swap stays visible, and nothing allocates per iteration.
+	refresh := func() {
+		for s, h := range hs.Hubs {
+			d := g.Degree(h)
+			if d == 0 {
+				contrib[s] = 0
+				continue
+			}
+			contrib[s] = pr[h] / float64(d)
+		}
+	}
+	gather := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			sum := 0.0
+			for _, s := range hs.HubRow(v) {
+				sum += contrib[s] // one sequential cache read, no degree fetch
+			}
+			for _, u := range hs.ResidualRow(v) {
+				du := g.Degree(u)
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			next[v] = base + opt.Damping*sum
+		}
+	}
+	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
+		start := time.Now()
+		refresh()
+		sched.ParallelFor(n, t, opt.Schedule, 0, gather)
+		pr, next = next, pr
+		el := time.Since(start)
+		stats.Record(el)
+		opt.Tick(l, el)
+	}
+	return pr, stats
+}
+
+// PullDirectedHub runs pull directed PageRank with the hub cache. hs must
+// be BuildHubSplit(dg.In, k): hubs are the vertices read most often along
+// in-edges, and their contribution scales by *out*-degree (§7.3).
+func PullDirectedHub(dg *DirectedGraph, hs *graph.HubSplit, opt Options) ([]float64, core.RunStats) {
+	opt.defaults()
+	n := dg.Out.N()
+	stats := core.RunStats{Direction: core.Pull}
+	pr := make([]float64, n)
+	if n == 0 {
+		return pr, stats
+	}
+	stats.Reserve(opt.Iterations)
+	t := sched.Clamp(opt.Threads, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	contrib := make([]float64, hs.K)
+	base := (1 - opt.Damping) / float64(n)
+	refresh := func() {
+		for s, h := range hs.Hubs {
+			d := dg.Out.Degree(h)
+			if d == 0 {
+				contrib[s] = 0
+				continue
+			}
+			contrib[s] = pr[h] / float64(d)
+		}
+	}
+	gather := func(w, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			sum := 0.0
+			for _, s := range hs.HubRow(v) {
+				sum += contrib[s]
+			}
+			for _, u := range hs.ResidualRow(v) {
+				du := dg.Out.Degree(u)
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			next[v] = base + opt.Damping*sum
+		}
+	}
+	for l := 0; l < opt.Iterations; l++ {
+		if opt.Canceled() {
+			stats.Canceled = true
+			break
+		}
+		start := time.Now()
+		refresh()
+		sched.ParallelFor(n, t, opt.Schedule, 0, gather)
+		pr, next = next, pr
+		el := time.Since(start)
+		stats.Record(el)
+		opt.Tick(l, el)
+	}
+	return pr, stats
+}
+
+// hubArrays models the hub split's extra state: the contribution cache,
+// the per-row split points, and the reordered adjacency (which replaces
+// the plain CSR adjacency in the gather's traffic).
+type hubArrays struct {
+	off, adj, hubEnd, contrib, pr, next memsim.Array
+}
+
+func modelHubArrays(n int, m int, k int, space *memsim.AddressSpace) hubArrays {
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	return hubArrays{
+		off:     space.NewArray(n+1, 8),
+		adj:     space.NewArray(m, 4),
+		hubEnd:  space.NewArray(n, 8),
+		contrib: space.NewArray(k, 8),
+		pr:      space.NewArray(n, 8),
+		next:    space.NewArray(n, 8),
+	}
+}
+
+// PullHubProfiled executes hub-cached pull PageRank deterministically
+// under the probes. The hub prefix charges one sequential adj read plus
+// one read into the k-entry cache per edge — no random rank or degree
+// fetch — which is exactly the traffic reduction the optimization claims;
+// the residual suffix pays the plain pull costs.
+func PullHubProfiled(g *graph.CSR, hs *graph.HubSplit, opt Options, prof core.Profile, space *memsim.AddressSpace) ([]float64, error) {
+	opt.defaults()
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	a := modelHubArrays(n, int(g.M()), hs.K, space)
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	if n == 0 {
+		return pr, nil
+	}
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	contrib := make([]float64, hs.K)
+	base := (1 - opt.Damping) / float64(n)
+	refreshPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionHubRefresh)
+		if w != 0 {
+			return // the k-entry refresh is a single-thread prologue
+		}
+		for s, h := range hs.Hubs {
+			p.Read(a.pr.Addr(int64(h)), 8)
+			p.Read(a.off.Addr(int64(h)), 8)
+			d := g.Degree(h)
+			p.Branch(d == 0)
+			if d == 0 {
+				contrib[s] = 0
+			} else {
+				contrib[s] = pr[h] / float64(d)
+			}
+			p.Write(a.contrib.Addr(int64(s)), 8)
+		}
+	}
+	gatherPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionHubGather)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			p.Read(a.off.Addr(int64(vi)), 8)
+			p.Read(a.hubEnd.Addr(int64(vi)), 8)
+			sum := 0.0
+			offs := g.Offsets[v]
+			for i, s := range hs.HubRow(v) {
+				p.Branch(true)                       // loop condition
+				p.Read(a.adj.Addr(offs+int64(i)), 4) // sequential adj read
+				p.Read(a.contrib.Addr(int64(s)), 8)  // cache-resident contribution
+				sum += contrib[s]
+			}
+			resBase := hs.HubEnd[v]
+			for i, u := range hs.ResidualRow(v) {
+				p.Branch(true)
+				p.Read(a.adj.Addr(resBase+int64(i)), 4) // sequential adj read
+				p.Read(a.pr.Addr(int64(u)), 8)          // R: random rank read
+				p.Read(a.off.Addr(int64(u)), 8)         // random degree read
+				du := g.Degree(u)
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			p.Write(a.next.Addr(int64(vi)), 8) // private, no conflict
+			next[vi] = base + opt.Damping*sum
+		}
+	}
+	for l := 0; l < opt.Iterations; l++ {
+		iterStart := time.Now()
+		sched.SequentialFor(n, prof.Threads, refreshPhase)
+		sched.SequentialFor(n, prof.Threads, gatherPhase)
+		pr, next = next, pr
+		opt.Tick(l, time.Since(iterStart))
+	}
+	return pr, nil
+}
+
+// PullDirectedHubProfiled executes hub-cached directed pull PageRank under
+// the probes; hs must be built on dg.In, contributions scale by the
+// out-degree of the hub.
+func PullDirectedHubProfiled(dg *DirectedGraph, hs *graph.HubSplit, opt Options, prof core.Profile, space *memsim.AddressSpace) ([]float64, error) {
+	opt.defaults()
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	n := dg.Out.N()
+	da := modelDirectedArrays(dg, space)
+	var sp *memsim.AddressSpace
+	if space != nil {
+		sp = space
+	} else {
+		sp = &memsim.AddressSpace{}
+	}
+	hubEndA := sp.NewArray(n, 8)
+	contribA := sp.NewArray(hs.K, 8)
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	if n == 0 {
+		return pr, nil
+	}
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	contrib := make([]float64, hs.K)
+	base := (1 - opt.Damping) / float64(n)
+	refreshPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionHubRefresh)
+		if w != 0 {
+			return
+		}
+		for s, h := range hs.Hubs {
+			p.Read(da.pr.Addr(int64(h)), 8)
+			p.Read(da.outOff.Addr(int64(h)), 8)
+			d := dg.Out.Degree(h)
+			p.Branch(d == 0)
+			if d == 0 {
+				contrib[s] = 0
+			} else {
+				contrib[s] = pr[h] / float64(d)
+			}
+			p.Write(contribA.Addr(int64(s)), 8)
+		}
+	}
+	gatherPhase := func(w, lo, hi int) {
+		p := prof.Probes[w]
+		p.Exec(regionHubGather)
+		for vi := lo; vi < hi; vi++ {
+			v := graph.V(vi)
+			p.Read(da.inOff.Addr(int64(vi)), 8)
+			p.Read(hubEndA.Addr(int64(vi)), 8)
+			sum := 0.0
+			offs := dg.In.Offsets[v]
+			for i, s := range hs.HubRow(v) {
+				p.Branch(true)
+				p.Read(da.inAdj.Addr(offs+int64(i)), 4)
+				p.Read(contribA.Addr(int64(s)), 8)
+				sum += contrib[s]
+			}
+			resBase := hs.HubEnd[v]
+			for i, u := range hs.ResidualRow(v) {
+				p.Branch(true)
+				p.Read(da.inAdj.Addr(resBase+int64(i)), 4)
+				p.Read(da.pr.Addr(int64(u)), 8)
+				p.Read(da.outOff.Addr(int64(u)), 8)
+				du := dg.Out.Degree(u)
+				if du == 0 {
+					continue
+				}
+				sum += pr[u] / float64(du)
+			}
+			p.Write(da.next.Addr(int64(vi)), 8)
+			next[vi] = base + opt.Damping*sum
+		}
+	}
+	for l := 0; l < opt.Iterations; l++ {
+		iterStart := time.Now()
+		sched.SequentialFor(n, prof.Threads, refreshPhase)
+		sched.SequentialFor(n, prof.Threads, gatherPhase)
+		pr, next = next, pr
+		opt.Tick(l, time.Since(iterStart))
+	}
+	return pr, nil
+}

@@ -1,0 +1,112 @@
+package pr
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
+	"pushpull/internal/graph"
+)
+
+func TestPullHubMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 15}
+	opt.Threads = 4
+	want := Sequential(g, opt)
+	for _, k := range []int{0, 1, 16, 256, g.N()} {
+		hs := graph.BuildHubSplit(g, k)
+		got, stats := PullHub(g, hs, opt)
+		if d := MaxDiff(got, want); d > tol {
+			t.Fatalf("k=%d: hub pull vs sequential: max diff %g", k, d)
+		}
+		if stats.Direction != core.Pull || stats.Iterations != 15 {
+			t.Fatalf("k=%d: stats = %+v", k, stats)
+		}
+	}
+}
+
+func TestPullHubOnDegreeSorted(t *testing.T) {
+	// The composition the engine runs on skewed graphs: degree-sort, then
+	// hub-split the sorted view; results un-permute to the sequential ranks.
+	g := testGraph(t)
+	opt := Options{Iterations: 12}
+	opt.Threads = 4
+	want := Sequential(g, opt)
+	ds := graph.SortByDegree(g)
+	hs := graph.BuildHubSplit(ds.G, 64)
+	got, _ := PullHub(ds.G, hs, opt)
+	unperm := make([]float64, len(got))
+	for newID, old := range ds.Perm {
+		unperm[old] = got[newID]
+	}
+	if d := MaxDiff(unperm, want); d > tol {
+		t.Fatalf("degree-sorted hub pull: max diff %g", d)
+	}
+}
+
+func TestPullDirectedHubMatchesSequential(t *testing.T) {
+	dg := directedFixture(t, 500, 3000, 17)
+	opt := Options{Iterations: 15}
+	opt.Threads = 4
+	want := SequentialDirected(dg, opt)
+	for _, k := range []int{0, 16, 256} {
+		hs := graph.BuildHubSplit(dg.In, k)
+		got, _ := PullDirectedHub(dg, hs, opt)
+		if d := MaxDiff(got, want); d > tol {
+			t.Fatalf("k=%d: directed hub pull: max diff %g", k, d)
+		}
+	}
+}
+
+func TestPullHubProfiledMatchesFast(t *testing.T) {
+	g := testGraph(t)
+	opt := Options{Iterations: 8}
+	opt.Threads = 3
+	hs := graph.BuildHubSplit(g, 32)
+	want, _ := PullHub(g, hs, opt)
+	prof, grp := core.CountingProfile(3)
+	got, err := PullHubProfiled(g, hs, opt, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got, want); d != 0 {
+		t.Fatalf("profiled hub pull differs from fast: %g", d)
+	}
+	tot := grp.Report()
+	if tot.Get(counters.Atomics) != 0 {
+		t.Fatalf("pull charged %d atomics", tot.Get(counters.Atomics))
+	}
+	// The hub prefix must reduce read traffic below plain pull's shape:
+	// hub edges pay 2 reads (adj + cache), residual edges 3 (adj + rank +
+	// degree).
+	if hs.HubEdges() == 0 {
+		t.Fatal("fixture has no hub edges")
+	}
+	profPlain, grpPlain := core.CountingProfile(3)
+	if _, err := PullProfiled(g, opt, profPlain, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tot.Get(counters.Reads) >= grpPlain.Report().Get(counters.Reads) {
+		t.Fatalf("hub pull reads %d, plain pull %d: cache saved nothing",
+			tot.Get(counters.Reads), grpPlain.Report().Get(counters.Reads))
+	}
+}
+
+func TestPullDirectedHubProfiledMatchesFast(t *testing.T) {
+	dg := directedFixture(t, 500, 3000, 17)
+	opt := Options{Iterations: 8}
+	opt.Threads = 3
+	hs := graph.BuildHubSplit(dg.In, 32)
+	want, _ := PullDirectedHub(dg, hs, opt)
+	prof, grp := core.CountingProfile(3)
+	got, err := PullDirectedHubProfiled(dg, hs, opt, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got, want); d != 0 {
+		t.Fatalf("profiled directed hub pull differs from fast: %g", d)
+	}
+	if grp.Report().Get(counters.Atomics) != 0 {
+		t.Fatalf("pull charged atomics")
+	}
+}

@@ -102,6 +102,7 @@ func Push(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
 	if n == 0 {
 		return pr, stats
 	}
+	stats.Reserve(opt.Iterations)
 	t := sched.Clamp(opt.Threads, n)
 	initRank := 1 / float64(n)
 	for i := range pr {
@@ -162,6 +163,7 @@ func Pull(g *graph.CSR, opt Options) ([]float64, core.RunStats) {
 	if n == 0 {
 		return pr, stats
 	}
+	stats.Reserve(opt.Iterations)
 	t := sched.Clamp(opt.Threads, n)
 	initRank := 1 / float64(n)
 	for i := range pr {
@@ -215,6 +217,7 @@ func PushPA(pa *graph.PAGraph, opt Options) ([]float64, core.RunStats) {
 	if n == 0 {
 		return pr, stats
 	}
+	stats.Reserve(opt.Iterations)
 	t := pa.Part.P
 	initRank := 1 / float64(n)
 	for i := range pr {

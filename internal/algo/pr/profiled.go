@@ -17,6 +17,8 @@ const (
 	regionPullGather
 	regionPAPhase1
 	regionPAPhase2
+	regionHubRefresh
+	regionHubGather
 )
 
 // arrays bundles the modeled address ranges of the PageRank state so the

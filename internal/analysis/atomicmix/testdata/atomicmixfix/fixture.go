@@ -4,6 +4,7 @@
 package atomicmixfix
 
 import (
+	"math/bits"
 	"sync/atomic"
 
 	"pushpull/internal/atomicx"
@@ -71,4 +72,47 @@ func addTotal() {
 
 func readTotal() uint64 {
 	return total // want `plain access to total`
+}
+
+// bitmap mirrors the packed []uint64 frontier of internal/frontier:
+// insertion is a load-first CAS on the 64-vertex word, while the pull
+// round scans words plainly after the round barrier. The plain scans
+// are the same cells the CAS targets, so each one must either be
+// flagged or carry the phase-separation allow.
+type bitmap struct {
+	words []uint64
+}
+
+func (b *bitmap) set(v int) bool {
+	mask := uint64(1) << (uint(v) & 63)
+	for {
+		old := atomic.LoadUint64(&b.words[v>>6])
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&b.words[v>>6], old, old|mask) {
+			return true
+		}
+	}
+}
+
+func (b *bitmap) get(v int) bool {
+	return b.words[v>>6]&(uint64(1)<<(uint(v)&63)) != 0 // want `plain access to words`
+}
+
+func (b *bitmap) clearWords() {
+	for i := range b.words {
+		b.words[i] = 0 // want `plain access to words`
+	}
+}
+
+// headerScan ranges over the slice header only; per-word element reads
+// after the barrier carry the allow naming the phase argument.
+func (b *bitmap) allowedCount() int {
+	c := 0
+	for i := range b.words {
+		//pushpull:allow atomicmix dense scan runs after the round barrier
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c
 }

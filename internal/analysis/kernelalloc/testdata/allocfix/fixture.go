@@ -73,3 +73,54 @@ func allowedFrontier(st *stats, rounds int) {
 		st.Record(0)
 	}
 }
+
+// goodHubRefresh mirrors the hub-cached pull kernel: the dense hub
+// contribution buffer is hoisted once and refreshed in place each
+// iteration, so the hot loop never touches the allocator.
+func goodHubRefresh(st *stats, rounds, hubs int) {
+	contrib := make([]float64, hubs)
+	for i := 0; i < rounds; i++ {
+		for h := range contrib {
+			contrib[h] = float64(h + i)
+		}
+		st.Record(0)
+	}
+}
+
+// badHubRefresh rebuilds the hub buffer per iteration — the mistake the
+// hoisted refresh exists to avoid.
+func badHubRefresh(st *stats, rounds, hubs int) {
+	for i := 0; i < rounds; i++ {
+		contrib := make([]float64, hubs) // want `make allocates per iteration`
+		for h := range contrib {
+			contrib[h] = float64(h + i)
+		}
+		st.Record(0)
+	}
+}
+
+// goodBitmapSwap double-buffers two hoisted packed frontiers: the round
+// loop clears and swaps, never reallocates.
+func goodBitmapSwap(st *stats, rounds, words int) {
+	curr := make([]uint64, words)
+	next := make([]uint64, words)
+	for i := 0; i < rounds; i++ {
+		for w := range next {
+			next[w] = 0
+		}
+		curr, next = next, curr
+		st.Record(0)
+	}
+	_ = curr
+}
+
+// badBitmapPerRound allocates a fresh packed frontier every round.
+func badBitmapPerRound(st *stats, rounds, words int) {
+	var frontier []uint64
+	for i := 0; i < rounds; i++ {
+		frontier = make([]uint64, words) // want `make allocates per iteration`
+		frontier[0] = 1
+		st.Record(0)
+	}
+	_ = frontier
+}

@@ -141,6 +141,17 @@ func (s RunStats) AvgIteration() time.Duration {
 	return s.Elapsed / time.Duration(s.Iterations)
 }
 
+// Reserve pre-sizes the per-iteration log so steady-state Record calls
+// append into existing capacity — part of the zero-allocation contract of
+// the kernels' iteration loops.
+func (s *RunStats) Reserve(n int) {
+	if cap(s.PerIteration)-len(s.PerIteration) < n {
+		grown := make([]time.Duration, len(s.PerIteration), len(s.PerIteration)+n)
+		copy(grown, s.PerIteration)
+		s.PerIteration = grown
+	}
+}
+
 // Record appends an iteration timing.
 func (s *RunStats) Record(d time.Duration) {
 	s.Iterations++

@@ -209,6 +209,45 @@ func TestBitmapCountDistinct(t *testing.T) {
 	}
 }
 
+// The bitmap must be packed: 64 vertices per word, so the words slice —
+// the cache footprint the pull probes and heuristic scans touch — is n/64
+// rounded up, not a byte or word per vertex.
+func TestBitmapIsPacked(t *testing.T) {
+	for _, c := range []struct{ n, words int }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {130, 3}} {
+		b := NewBitmap(c.n)
+		if got := len(b.Words()); got != c.words {
+			t.Fatalf("NewBitmap(%d): %d words, want %d", c.n, got, c.words)
+		}
+	}
+	b := NewBitmap(128)
+	b.SetSeq(0)
+	b.SetSeq(63)
+	b.SetSeq(64)
+	if w := b.Words(); w[0] != 1|1<<63 || w[1] != 1 {
+		t.Fatalf("packing wrong: words = %x", w)
+	}
+}
+
+// ToSparse must agree with ForEach on a dense bitmap whose length is not a
+// word multiple (the word-strided scan must not emit padding bits).
+func TestBitmapToSparseDenseOddLength(t *testing.T) {
+	const n = 70
+	b := NewBitmap(n)
+	for v := graph.V(0); v < n; v++ {
+		b.SetSeq(v)
+	}
+	var dst Sparse
+	b.ToSparse(&dst)
+	if dst.Len() != n {
+		t.Fatalf("dense ToSparse len = %d, want %d", dst.Len(), n)
+	}
+	for i, v := range dst.Vertices() {
+		if v != graph.V(i) {
+			t.Fatalf("dense ToSparse[%d] = %d", i, v)
+		}
+	}
+}
+
 func TestSwitchHeuristic(t *testing.T) {
 	h := DefaultSwitch()
 	// Tiny frontier over a huge graph: stay top-down (push).

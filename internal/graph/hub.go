@@ -1,0 +1,112 @@
+package graph
+
+import "sort"
+
+// HubSplit implements the hub-cache layout of "A New Frontier for
+// Pull-Based Graph Processing": the k vertices read most often by a pull
+// sweep (the ones appearing most frequently in the adjacency array) are
+// assigned compact slot ids [0, k), and every adjacency row is reordered
+// into a hub prefix followed by a residual suffix.
+//
+// The hub prefix of row v — Adj[Offsets[v] : HubEnd[v]] — stores *slot*
+// ids, so a pull kernel reads hub state out of a k-entry contiguous cache
+// (one cache-resident array refreshed once per iteration) instead of
+// chasing pr[u]/degree[u] through the full n-sized arrays. The residual
+// suffix — Adj[HubEnd[v] : Offsets[v+1]] — stores ordinary vertex ids with
+// their relative (ascending) order preserved. Offsets is shared with the
+// source CSR; HubSplit owns its reordered Adj copy so plain kernels on the
+// same CSR are unaffected.
+type HubSplit struct {
+	K       int
+	Hubs    []V       // Hubs[slot] = vertex id; the top-k most-read vertices
+	Slot    []int32   // Slot[v] = slot of v, or -1 for non-hubs; len n
+	Offsets []int64   // shared with the source CSR (read-only)
+	HubEnd  []int64   // per-row split: [Offsets[v], HubEnd[v]) are slot ids
+	Adj     []V       // reordered adjacency: slot-id prefix, vertex-id suffix
+	Weights []float32 // parallel to Adj; nil for unweighted graphs
+}
+
+// BuildHubSplit selects the top-k vertices by occurrence count in g.Adj
+// (ties break by ascending id) and builds the split. k is clamped to
+// [0, n]; k = 0 yields a split whose rows are entirely residual.
+func BuildHubSplit(g *CSR, k int) *HubSplit {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	count := make([]int64, n)
+	for _, u := range g.Adj {
+		count[u]++
+	}
+	ids := make([]V, n)
+	for i := range ids {
+		ids[i] = V(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := count[ids[i]], count[ids[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ids[i] < ids[j]
+	})
+	hs := &HubSplit{
+		K:       k,
+		Hubs:    append([]V(nil), ids[:k]...),
+		Slot:    make([]int32, n),
+		Offsets: g.Offsets,
+		HubEnd:  make([]int64, n),
+		Adj:     make([]V, len(g.Adj)),
+	}
+	for i := range hs.Slot {
+		hs.Slot[i] = -1
+	}
+	for s, h := range hs.Hubs {
+		hs.Slot[h] = int32(s)
+	}
+	if g.Weights != nil {
+		hs.Weights = make([]float32, len(g.Adj))
+	}
+	for v := V(0); v < V(n); v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		p := lo
+		for i := lo; i < hi; i++ {
+			if s := hs.Slot[g.Adj[i]]; s >= 0 {
+				hs.Adj[p] = V(s)
+				if hs.Weights != nil {
+					hs.Weights[p] = g.Weights[i]
+				}
+				p++
+			}
+		}
+		hs.HubEnd[v] = p
+		for i := lo; i < hi; i++ {
+			if hs.Slot[g.Adj[i]] < 0 {
+				hs.Adj[p] = g.Adj[i]
+				if hs.Weights != nil {
+					hs.Weights[p] = g.Weights[i]
+				}
+				p++
+			}
+		}
+	}
+	return hs
+}
+
+// HubRow returns v's hub prefix: slot ids into the k-entry cache.
+func (h *HubSplit) HubRow(v V) []V { return h.Adj[h.Offsets[v]:h.HubEnd[v]] }
+
+// ResidualRow returns v's residual suffix: ordinary vertex ids, ascending.
+func (h *HubSplit) ResidualRow(v V) []V { return h.Adj[h.HubEnd[v]:h.Offsets[v+1]] }
+
+// HubEdges returns the number of adjacency entries served by the cache —
+// the fraction of edge traversals the split short-circuits.
+func (h *HubSplit) HubEdges() int64 {
+	var c int64
+	for v := range h.HubEnd {
+		c += h.HubEnd[v] - h.Offsets[v]
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestBuildHubSplitSelectsTopK(t *testing.T) {
+	// Star over 8 vertices: the center appears in every leaf's row, so it is
+	// the unique most-read vertex.
+	b := NewBuilder(8)
+	for v := V(1); v < 8; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.MustBuild()
+	hs := BuildHubSplit(g, 1)
+	if hs.K != 1 || len(hs.Hubs) != 1 || hs.Hubs[0] != 0 {
+		t.Fatalf("hubs = %v, want [0]", hs.Hubs)
+	}
+	if hs.Slot[0] != 0 {
+		t.Fatalf("Slot[0] = %d", hs.Slot[0])
+	}
+	for v := V(1); v < 8; v++ {
+		if hs.Slot[v] != -1 {
+			t.Fatalf("Slot[%d] = %d, want -1", v, hs.Slot[v])
+		}
+	}
+	// Every leaf row is a one-entry hub prefix (slot 0), empty residual.
+	for v := V(1); v < 8; v++ {
+		hub, res := hs.HubRow(v), hs.ResidualRow(v)
+		if len(hub) != 1 || hub[0] != 0 || len(res) != 0 {
+			t.Fatalf("leaf %d: hub=%v res=%v", v, hub, res)
+		}
+	}
+	// The center's row is all residual: leaves are not hubs.
+	if len(hs.HubRow(0)) != 0 || len(hs.ResidualRow(0)) != 7 {
+		t.Fatalf("center row: hub=%v res=%v", hs.HubRow(0), hs.ResidualRow(0))
+	}
+	if hs.HubEdges() != 7 {
+		t.Fatalf("HubEdges = %d, want 7", hs.HubEdges())
+	}
+}
+
+// Property: per row, mapping hub slots back through Hubs and appending the
+// residual yields exactly the original neighbor multiset, with residuals
+// still ascending.
+func TestHubSplitRowsPartitionAdjacency(t *testing.T) {
+	g := randomCSR(t, 150, 900, false, false, 11)
+	for _, k := range []int{0, 1, 8, 150, 1000, -3} {
+		hs := BuildHubSplit(g, k)
+		wantK := k
+		if wantK > g.N() {
+			wantK = g.N()
+		}
+		if wantK < 0 {
+			wantK = 0
+		}
+		if hs.K != wantK {
+			t.Fatalf("k=%d: K = %d, want %d", k, hs.K, wantK)
+		}
+		for v := V(0); v < g.NumV; v++ {
+			var got []V
+			for _, s := range hs.HubRow(v) {
+				if int(s) >= hs.K {
+					t.Fatalf("k=%d v=%d: slot %d out of range", k, v, s)
+				}
+				got = append(got, hs.Hubs[s])
+			}
+			res := hs.ResidualRow(v)
+			for i, u := range res {
+				if hs.Slot[u] != -1 {
+					t.Fatalf("k=%d v=%d: hub %d in residual", k, v, u)
+				}
+				if i > 0 && res[i-1] > u {
+					t.Fatalf("k=%d v=%d: residual not sorted", k, v)
+				}
+				got = append(got, u)
+			}
+			want := append([]V(nil), g.Neighbors(v)...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(got) != len(want) {
+				t.Fatalf("k=%d v=%d: row size %d, want %d", k, v, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d v=%d: row %v, want %v", k, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHubSplitCarriesWeights(t *testing.T) {
+	g := randomCSR(t, 60, 300, true, false, 5)
+	hs := BuildHubSplit(g, 4)
+	if hs.Weights == nil {
+		t.Fatal("weights dropped")
+	}
+	for v := V(0); v < g.NumV; v++ {
+		lo := g.Offsets[v]
+		hub := hs.HubRow(v)
+		for i, s := range hub {
+			u := hs.Hubs[s]
+			if want := weightOf(t, g, v, u); hs.Weights[lo+int64(i)] != want {
+				t.Fatalf("hub weight (%d->%d) = %v, want %v", v, u, hs.Weights[lo+int64(i)], want)
+			}
+		}
+		base := hs.HubEnd[v]
+		for i, u := range hs.ResidualRow(v) {
+			if want := weightOf(t, g, v, u); hs.Weights[base+int64(i)] != want {
+				t.Fatalf("residual weight (%d->%d) = %v, want %v", v, u, hs.Weights[base+int64(i)], want)
+			}
+		}
+	}
+}
+
+// Degree-sorting first makes the hub set exactly the id prefix [0, k) on
+// graphs whose read frequency equals degree (undirected CSRs) — when the
+// two options compose, slots and vertex ids coincide.
+func TestHubSplitOnDegreeSortedPrefix(t *testing.T) {
+	g := randomCSR(t, 100, 600, false, false, 3)
+	ds := SortByDegree(g)
+	const k = 10
+	hs := BuildHubSplit(ds.G, k)
+	for s, h := range hs.Hubs {
+		if h != V(s) {
+			t.Fatalf("hub slot %d is vertex %d; degree-sorted hubs should be the prefix", s, h)
+		}
+	}
+}

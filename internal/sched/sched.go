@@ -96,9 +96,19 @@ func ParallelFor(n, t int, s Schedule, grain int, body func(worker, lo, hi int))
 	}
 	t = Clamp(t, n)
 	if t == 1 {
+		// Inline fast path. The goroutine-spawning path lives in its own
+		// function because its closures capture t and grain, which would
+		// otherwise be moved to the heap at entry — two allocations per
+		// call even when this path never spawns anything, putting the
+		// allocator inside every single-threaded kernel iteration.
 		body(0, 0, n)
 		return
 	}
+	parallelFor(n, t, s, grain, body)
+}
+
+// parallelFor is the multi-worker slow path of ParallelFor.
+func parallelFor(n, t int, s Schedule, grain int, body func(worker, lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(t)
 	switch s {

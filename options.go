@@ -102,7 +102,23 @@ type Config struct {
 	// rejected at Run entry with ErrBadOption). Shared-memory algorithms
 	// ignore it.
 	Ranks int
+	// DegreeSorted requests the degree-sorted CSR layout: kernels run on
+	// the workload's memoized degree-permuted graph and the report is
+	// un-permuted at the boundary. False defers to the workload's
+	// AsDegreeSorted declaration.
+	DegreeSorted bool
+	// HubCache is the hub-cache size k for pull kernels: 0 defers to the
+	// workload's AsHubCached declaration, AutoHubCache (-1) picks the
+	// size from n, k > 0 is explicit. Other negatives are rejected at Run
+	// entry with ErrBadOption.
+	HubCache int
 }
+
+// AutoHubCache is the HubCache/AsHubCached sentinel selecting the
+// automatic hub segment size: min(4096, max(1, n/64)) — large enough to
+// cover the heavy tail of a skewed degree distribution, small enough that
+// the per-iteration contribution cache stays resident.
+const AutoHubCache = -1
 
 // Option configures one Run call.
 type Option func(*Config)
@@ -175,6 +191,32 @@ func WithPartitionAwareGraph(pa *PAGraph) Option {
 
 // WithRanks sets the simulated cluster size P for the dist-* algorithms.
 func WithRanks(p int) Option { return func(c *Config) { c.Ranks = p } }
+
+// WithDegreeSorted runs the kernels over the workload's memoized
+// degree-sorted CSR permutation: vertex ids are renumbered by descending
+// degree, which concentrates the hot (high-degree) rows at the front of
+// every array and makes the WithHubCache hub segment contiguous. The
+// report is un-permuted at the boundary, so the payload is identical to a
+// plain-layout run.
+func WithDegreeSorted() Option { return func(c *Config) { c.DegreeSorted = true } }
+
+// WithHubCache enables the hub-cached pull path: the pull view is split
+// into a dense segment of the k most-referenced (hub) vertices — whose
+// per-iteration state is kept in a compact contiguous cache — and a
+// residual segment, so the gather reads hub state cache-line friendly
+// instead of chasing the full adjacency, and traversal pulls early-out on
+// the hub segment once a parent is found. Wins on skewed (power-law)
+// degree distributions, where the top-k vertices cover most edges. k <= 0
+// selects the automatic size (AutoHubCache). Applies to pull-direction
+// runs of algorithms whose Caps declare HubCache; push runs ignore it.
+func WithHubCache(k int) Option {
+	return func(c *Config) {
+		if k <= 0 {
+			k = AutoHubCache
+		}
+		c.HubCache = k
+	}
+}
 
 // ---- helpers for algorithm adapters ----
 
@@ -258,8 +300,9 @@ func (c *Config) fingerprint() (fp string, ok bool) {
 	} else {
 		b.WriteByte('-')
 	}
-	fmt.Fprintf(&b, ";delta=%g;maxit=%d;parts=%d;pa=%t;ranks=%d;srcs=",
-		c.Delta, c.MaxIters, c.Partitions, c.PartitionAware, c.Ranks)
+	fmt.Fprintf(&b, ";delta=%g;maxit=%d;parts=%d;pa=%t;ranks=%d;ds=%t;hub=%d;srcs=",
+		c.Delta, c.MaxIters, c.Partitions, c.PartitionAware, c.Ranks,
+		c.DegreeSorted, c.HubCache)
 	// nil and empty Sources are distinct configurations (bc: all
 	// vertices vs zero sources) and must not share a key.
 	if c.Sources == nil {
@@ -269,6 +312,46 @@ func (c *Config) fingerprint() (fp string, ok bool) {
 		fmt.Fprintf(&b, "%d,", s)
 	}
 	return b.String(), true
+}
+
+// degreeSorted reports whether a run uses the degree-sorted layout: an
+// explicit WithDegreeSorted, else the workload's AsDegreeSorted
+// declaration.
+func (c *Config) degreeSorted(w *Workload) bool {
+	return c.DegreeSorted || w.IsDegreeSorted()
+}
+
+// hubCacheK resolves the hub segment size of a run over n vertices:
+// an explicit WithHubCache wins, then the workload's AsHubCached
+// declaration; AutoHubCache maps to the automatic size, and the result is
+// clamped to n. 0 means the run is not hub-cached.
+func (c *Config) hubCacheK(w *Workload, n int) int {
+	k := c.HubCache
+	if k == 0 {
+		k = w.HubCacheK()
+	}
+	if k == 0 {
+		return 0
+	}
+	if k < 0 {
+		k = autoHubK(n)
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// autoHubK is the AutoHubCache size: min(4096, max(1, n/64)).
+func autoHubK(n int) int {
+	k := n / 64
+	if k < 1 {
+		k = 1
+	}
+	if k > 4096 {
+		k = 4096
+	}
+	return k
 }
 
 // paGraph returns the caller-supplied PA layout, or the workload's

@@ -1,0 +1,81 @@
+package pushpull
+
+// Facade wiring of the kernel raw-speed layout options: the degree-sorted
+// CSR permutation (WithDegreeSorted / AsDegreeSorted) and the hub-cached
+// pull split (WithHubCache / AsHubCached). The algorithm adapters resolve
+// both into a layout, hand the permuted views to the kernels, and
+// un-permute the payload at the report boundary — so callers observe
+// identical results and only the run's memory behavior changes.
+
+import (
+	"pushpull/internal/algo/bfs"
+	"pushpull/internal/algo/gc"
+	"pushpull/internal/graph"
+)
+
+// layout is the resolved per-run view selection: which CSR the kernels
+// iterate and how large the hub segment is.
+type layout struct {
+	// ds is the degree-sorted view, nil for the identity layout.
+	ds *DegreeSortedView
+	// hubK is the resolved hub segment size; 0 disables the hub path.
+	hubK int
+}
+
+// resolveLayout combines the run options with the workload declarations.
+// hub gates the hub-cache resolution: adapters without a hub-cached
+// kernel (gc) pass false so an ambient AsHubCached declaration is ignored
+// rather than half-applied.
+func resolveLayout(w *Workload, cfg *Config, hub bool) layout {
+	l := layout{}
+	if cfg.degreeSorted(w) {
+		l.ds = w.DegreeSorted()
+	}
+	if hub {
+		l.hubK = cfg.hubCacheK(w, w.N())
+	}
+	return l
+}
+
+// unpermuteFloats lifts a permuted-layout vector back to original vertex
+// ids: out[Perm[new]] = in[new].
+func unpermuteFloats(ds *DegreeSortedView, in []float64) []float64 {
+	out := make([]float64, len(in))
+	for nw, old := range ds.Perm {
+		out[old] = in[nw]
+	}
+	return out
+}
+
+// unpermuteColors lifts a permuted-layout coloring back to original ids.
+func unpermuteColors(ds *DegreeSortedView, in []int32) []int32 {
+	out := make([]int32, len(in))
+	for nw, old := range ds.Perm {
+		out[old] = in[nw]
+	}
+	return out
+}
+
+// unpermuteTree lifts a BFS tree computed on the permuted graph back to
+// original ids: levels move with the vertex, parent ids (which are
+// permuted-space vertex ids) map through Perm; the -1 of an unreached
+// vertex is preserved.
+func unpermuteTree(ds *DegreeSortedView, t *bfs.Tree) *bfs.Tree {
+	out := &bfs.Tree{Parent: make([]graph.V, len(t.Parent)), Level: make([]int32, len(t.Level))}
+	for nw, old := range ds.Perm {
+		out.Level[old] = t.Level[nw]
+		if p := t.Parent[nw]; p >= 0 {
+			out.Parent[old] = ds.Perm[p]
+		} else {
+			out.Parent[old] = p
+		}
+	}
+	return out
+}
+
+// unpermuteColoring rebuilds a gc result with original vertex ids.
+func unpermuteColoring(ds *DegreeSortedView, res *gc.Result) *gc.Result {
+	out := *res
+	out.Colors = unpermuteColors(ds, res.Colors)
+	return &out
+}

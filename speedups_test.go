@@ -1,0 +1,294 @@
+package pushpull_test
+
+// Cross-validation of the kernel raw-speed layout options: degree-sorted
+// and hub-cached runs must produce payloads identical to the plain
+// kernels (pr ranks to 1e-9, bfs trees valid with equal levels, gc proper
+// colorings), the options must participate in the Engine's cache key and
+// the workload content ID, and the derived views must be memoized.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pushpull"
+)
+
+// skewedGraph builds the high-skew RMAT workload hub caching targets.
+func skewedGraph(t testing.TB) *pushpull.Graph {
+	t.Helper()
+	g, err := pushpull.RMAT(pushpull.DefaultRMAT(10, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// directedSkewedGraph builds a directed pseudo-random graph.
+func directedSkewedGraph(t testing.TB, n int, seed uint64) *pushpull.Graph {
+	t.Helper()
+	b := pushpull.NewBuilder(n).Directed()
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < 8*n; i++ {
+		// Square one endpoint's range to skew the in-degree distribution.
+		u := pushpull.V(next() % uint64(n))
+		v := pushpull.V((next() % uint64(n)) * (next() % uint64(n)) / uint64(n))
+		b.AddEdge(u, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func ranksOf(t *testing.T, rep *pushpull.Report) []float64 {
+	t.Helper()
+	ranks, ok := rep.Result.([]float64)
+	if !ok {
+		t.Fatalf("pr payload is %T, want []float64", rep.Result)
+	}
+	return ranks
+}
+
+func TestPRLayoutOptionsCrossValidate(t *testing.T) {
+	g := skewedGraph(t)
+	base, err := pushpull.Run(context.Background(), g, "pr", pushpull.WithDirection(pushpull.Pull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ranksOf(t, base)
+	variants := map[string][]pushpull.Option{
+		"degree-sorted":     {pushpull.WithDegreeSorted()},
+		"hub-cached":        {pushpull.WithHubCache(64)},
+		"hub-cached-auto":   {pushpull.WithHubCache(0)},
+		"sorted+hub-cached": {pushpull.WithDegreeSorted(), pushpull.WithHubCache(64)},
+	}
+	for name, opts := range variants {
+		w := pushpull.NewWorkload(g)
+		rep, err := pushpull.Run(context.Background(), w, "pr",
+			append(opts, pushpull.WithDirection(pushpull.Pull), pushpull.WithThreads(4))...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := pushpull.MaxDiff(want, ranksOf(t, rep)); d > 1e-9 {
+			t.Fatalf("%s: ranks diverge from plain pull by %g", name, d)
+		}
+	}
+	// Workload-level declarations behave identically to per-run options.
+	w := pushpull.NewWorkload(g, pushpull.AsDegreeSorted(), pushpull.AsHubCached(0))
+	rep, err := pushpull.Run(context.Background(), w, "pr", pushpull.WithDirection(pushpull.Pull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pushpull.MaxDiff(want, ranksOf(t, rep)); d > 1e-9 {
+		t.Fatalf("declared workload: ranks diverge by %g", d)
+	}
+	// Push runs ignore the hub cache but honor the degree sort.
+	rep, err = pushpull.Run(context.Background(), w, "pr", pushpull.WithDirection(pushpull.Push))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pushpull.MaxDiff(want, ranksOf(t, rep)); d > 1e-6 {
+		t.Fatalf("declared workload push: ranks diverge by %g", d)
+	}
+}
+
+func TestPRDirectedLayoutOptionsCrossValidate(t *testing.T) {
+	g := directedSkewedGraph(t, 700, 9)
+	base, err := pushpull.Run(context.Background(), pushpull.Directed(g), "pr",
+		pushpull.WithDirection(pushpull.Pull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ranksOf(t, base)
+	for name, opts := range map[string][]pushpull.Option{
+		"degree-sorted":     {pushpull.WithDegreeSorted()},
+		"hub-cached":        {pushpull.WithHubCache(32)},
+		"sorted+hub-cached": {pushpull.WithDegreeSorted(), pushpull.WithHubCache(32)},
+	} {
+		rep, err := pushpull.Run(context.Background(), pushpull.Directed(g), "pr",
+			append(opts, pushpull.WithDirection(pushpull.Pull), pushpull.WithThreads(3))...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := pushpull.MaxDiff(want, ranksOf(t, rep)); d > 1e-9 {
+			t.Fatalf("%s: directed ranks diverge by %g", name, d)
+		}
+	}
+}
+
+// checkBFSTree validates a tree against the graph and reference levels:
+// same reachability and depth, every non-root parent a real neighbor one
+// level up.
+func checkBFSTree(t *testing.T, g *pushpull.Graph, root pushpull.V, tree *pushpull.BFSTree, want []int32) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		if tree.Level[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, tree.Level[v], want[v])
+		}
+		p := tree.Parent[v]
+		if pushpull.V(v) == root || p < 0 {
+			continue
+		}
+		if tree.Level[v] != tree.Level[p]+1 {
+			t.Fatalf("parent[%d]=%d: level %d vs parent level %d", v, p, tree.Level[v], tree.Level[p])
+		}
+		if !g.HasEdge(p, pushpull.V(v)) {
+			t.Fatalf("parent[%d]=%d is not a neighbor", v, p)
+		}
+	}
+}
+
+func TestBFSLayoutOptionsCrossValidate(t *testing.T) {
+	g := skewedGraph(t)
+	base, err := pushpull.Run(context.Background(), g, "bfs", pushpull.WithSource(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Result.(*pushpull.BFSTree).Level
+	for _, dir := range []pushpull.Direction{pushpull.Auto, pushpull.Push, pushpull.Pull} {
+		for name, opts := range map[string][]pushpull.Option{
+			"degree-sorted":     {pushpull.WithDegreeSorted()},
+			"hub-cached":        {pushpull.WithHubCache(128)},
+			"sorted+hub-cached": {pushpull.WithDegreeSorted(), pushpull.WithHubCache(128)},
+		} {
+			rep, err := pushpull.Run(context.Background(), pushpull.NewWorkload(g), "bfs",
+				append(opts, pushpull.WithSource(0), pushpull.WithDirection(dir), pushpull.WithThreads(4))...)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, dir, err)
+			}
+			checkBFSTree(t, g, 0, rep.Result.(*pushpull.BFSTree), want)
+		}
+	}
+}
+
+func TestGCLayoutOptionsProperColoring(t *testing.T) {
+	g := skewedGraph(t)
+	// Explicit degree sort, and a workload declaring both options — gc has
+	// no hub-cached kernel, so the ambient AsHubCached is ignored rather
+	// than rejected.
+	runs := []struct {
+		name string
+		on   pushpull.Runnable
+		opts []pushpull.Option
+	}{
+		{"explicit-ds", pushpull.NewWorkload(g), []pushpull.Option{pushpull.WithDegreeSorted()}},
+		{"declared", pushpull.NewWorkload(g, pushpull.AsDegreeSorted(), pushpull.AsHubCached(64)), nil},
+		{"declared-pull", pushpull.NewWorkload(g, pushpull.AsDegreeSorted()),
+			[]pushpull.Option{pushpull.WithDirection(pushpull.Pull)}},
+	}
+	for _, r := range runs {
+		rep, err := pushpull.Run(context.Background(), r.on, "gc", r.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		res := rep.Result.(*pushpull.ColoringResult)
+		if err := pushpull.ValidateColoring(g, res.Colors); err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+	}
+}
+
+func TestLayoutOptionCapsErrors(t *testing.T) {
+	g := skewedGraph(t)
+	wg := pushpull.WithUniformWeights(g, 1, 2, 7)
+	if _, err := pushpull.Run(context.Background(), pushpull.Weighted(wg), "sssp",
+		pushpull.WithDegreeSorted()); !errors.Is(err, pushpull.ErrDegreeSortUnsupported) {
+		t.Fatalf("sssp WithDegreeSorted: %v, want ErrDegreeSortUnsupported", err)
+	}
+	if _, err := pushpull.Run(context.Background(), pushpull.Weighted(wg), "mst",
+		pushpull.WithHubCache(8)); !errors.Is(err, pushpull.ErrHubCacheUnsupported) {
+		t.Fatalf("mst WithHubCache: %v, want ErrHubCacheUnsupported", err)
+	}
+	if _, err := pushpull.Run(context.Background(), g, "pr",
+		pushpull.WithDegreeSorted(), pushpull.WithPartitionAwareness()); !errors.Is(err, pushpull.ErrBadOption) {
+		t.Fatalf("pr degree-sort + PA: %v, want ErrBadOption", err)
+	}
+	// gc supports degree sorting but not hub caching.
+	if _, err := pushpull.Run(context.Background(), g, "gc",
+		pushpull.WithHubCache(8)); !errors.Is(err, pushpull.ErrHubCacheUnsupported) {
+		t.Fatalf("gc WithHubCache: %v, want ErrHubCacheUnsupported", err)
+	}
+	// A workload-level declaration is ambient: algorithms without support
+	// ignore it instead of failing.
+	w := pushpull.NewWorkload(wg, pushpull.AsWeighted(), pushpull.AsDegreeSorted(), pushpull.AsHubCached(8))
+	if _, err := pushpull.Run(context.Background(), w, "mst"); err != nil {
+		t.Fatalf("mst on declared workload: %v", err)
+	}
+}
+
+func TestLayoutViewsMemoized(t *testing.T) {
+	g := skewedGraph(t)
+	w := pushpull.NewWorkload(g, pushpull.AsDegreeSorted(), pushpull.AsHubCached(64))
+	for i := 0; i < 3; i++ {
+		if _, err := pushpull.Run(context.Background(), w, "pr", pushpull.WithDirection(pushpull.Pull)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pushpull.Run(context.Background(), w, "bfs", pushpull.WithSource(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := w.Builds()
+	if b.DegreeSorts != 1 {
+		t.Fatalf("DegreeSorts = %d, want 1", b.DegreeSorts)
+	}
+	// pr pull and bfs share the same (k, sorted, in=false) split.
+	if b.HubSplits != 1 {
+		t.Fatalf("HubSplits = %d, want 1", b.HubSplits)
+	}
+}
+
+func TestLayoutOptionsInCacheKeyAndID(t *testing.T) {
+	g := undirectedGraph(t, 400, 5)
+	// Workload declarations are part of the content ID; plain handles keep
+	// matching each other.
+	plain, plain2 := pushpull.NewWorkload(g), pushpull.NewWorkload(g)
+	if plain.ID() != plain2.ID() {
+		t.Fatal("identical plain workloads disagree on ID")
+	}
+	ds := pushpull.NewWorkload(g, pushpull.AsDegreeSorted())
+	hub8 := pushpull.NewWorkload(g, pushpull.AsHubCached(8))
+	hub16 := pushpull.NewWorkload(g, pushpull.AsHubCached(16))
+	ids := map[string]string{plain.ID(): "plain", ds.ID(): "ds", hub8.ID(): "hub8", hub16.ID(): "hub16"}
+	if len(ids) != 4 {
+		t.Fatalf("layout declarations collide in content IDs: %v", ids)
+	}
+
+	// Run options are part of the Engine cache key: a different option is
+	// a different key, the same option hits.
+	e := pushpull.NewEngine()
+	w := pushpull.NewWorkload(g)
+	run := func(opts ...pushpull.Option) *pushpull.Report {
+		t.Helper()
+		rep, err := e.Run(context.Background(), w, "pr", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if rep := run(pushpull.WithHubCache(8)); rep.Stats.CacheHit {
+		t.Fatal("first hub-cached run cannot be a cache hit")
+	}
+	if rep := run(pushpull.WithHubCache(8)); !rep.Stats.CacheHit {
+		t.Fatal("identical hub-cached run must hit the cache")
+	}
+	if rep := run(pushpull.WithHubCache(16)); rep.Stats.CacheHit {
+		t.Fatal("different hub size must be a different cache key")
+	}
+	if rep := run(pushpull.WithDegreeSorted()); rep.Stats.CacheHit {
+		t.Fatal("degree-sorted run must not share the plain key")
+	}
+	if rep := run(pushpull.WithDegreeSorted()); !rep.Stats.CacheHit {
+		t.Fatal("identical degree-sorted run must hit the cache")
+	}
+	if rep := run(); rep.Stats.CacheHit {
+		t.Fatal("plain run must not share the layout-optioned keys")
+	}
+}

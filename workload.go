@@ -50,13 +50,32 @@ type Workload struct {
 	// defaultParts is the partition count of AsPartitioned; 0 defers to
 	// WithPartitions / the resolved thread count.
 	defaultParts int
+	// degreeSorted is the AsDegreeSorted declaration: runs default to the
+	// memoized degree-sorted CSR permutation (reports are un-permuted at
+	// the boundary, so payloads match the plain layout).
+	degreeSorted bool
+	// hubK is the AsHubCached declaration: the hub-cache size k pull runs
+	// default to (0 = none, AutoHubCache = size picked from n).
+	hubK int
 
-	mu        sync.Mutex
-	transpose *Graph
-	stats     *GraphStats
-	pa        map[int]*PAGraph
-	builds    WorkloadBuilds
-	id        string
+	mu          sync.Mutex
+	transpose   *Graph
+	ds          *DegreeSortedView
+	dsTranspose *Graph
+	hubs        map[hubKey]*HubSplit
+	stats       *GraphStats
+	pa          map[int]*PAGraph
+	builds      WorkloadBuilds
+	id          string
+}
+
+// hubKey identifies one memoized hub split: the segment size plus which
+// adjacency view it was built over (degree-sorted or plain, in-edges or
+// the graph itself).
+type hubKey struct {
+	k      int
+	sorted bool
+	in     bool
 }
 
 // WorkloadBuilds counts the derived-view constructions a Workload has
@@ -70,6 +89,11 @@ type WorkloadBuilds struct {
 	PASplits int
 	// Stats counts Table 2 statistics computations.
 	Stats int
+	// DegreeSorts counts degree-sorted CSR permutation builds.
+	DegreeSorts int
+	// HubSplits counts hub-split layout builds (one per distinct
+	// size/view combination).
+	HubSplits int
 }
 
 // WorkloadOption declares one aspect of a workload's kind at construction.
@@ -93,6 +117,29 @@ func AsPartitioned(parts int) WorkloadOption {
 		if parts > 0 {
 			w.defaultParts = parts
 		}
+	}
+}
+
+// AsDegreeSorted declares that runs should use the degree-sorted CSR
+// permutation (vertices renumbered by descending degree): kernels compute
+// over the memoized permuted graph — which packs the high-degree vertices
+// into a contiguous id prefix, making the hub segment of AsHubCached
+// cache-line friendly — and every report is un-permuted at the boundary,
+// so payloads are identical to plain-layout runs. Algorithms without
+// degree-sort support ignore the declaration.
+func AsDegreeSorted() WorkloadOption { return func(w *Workload) { w.degreeSorted = true } }
+
+// AsHubCached declares a hub-cache size k for pull runs: the pull view is
+// split into a dense top-k hub segment read through a compact contiguous
+// cache and a residual segment (see WithHubCache). k <= 0 selects the
+// automatic size. Algorithms without hub-cache support ignore the
+// declaration; an explicit WithHubCache on a run overrides it.
+func AsHubCached(k int) WorkloadOption {
+	return func(w *Workload) {
+		if k <= 0 {
+			k = AutoHubCache
+		}
+		w.hubK = k
 	}
 }
 
@@ -149,6 +196,13 @@ func (w *Workload) WeightsDeclared() bool { return w.weightsDeclared }
 // declared.
 func (w *Workload) DefaultPartitions() int { return w.defaultParts }
 
+// IsDegreeSorted reports whether the workload was declared AsDegreeSorted.
+func (w *Workload) IsDegreeSorted() bool { return w.degreeSorted }
+
+// HubCacheK returns the AsHubCached declaration: 0 when none was made,
+// AutoHubCache for the automatic size, otherwise the explicit k.
+func (w *Workload) HubCacheK() int { return w.hubK }
+
 // Transpose returns the in-edge view (the reverse CSR), building it on
 // first use and memoizing it for every later call. For an undirected
 // workload the adjacency is symmetric, so the graph itself is returned
@@ -159,11 +213,89 @@ func (w *Workload) Transpose() *Graph {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.transposeLocked()
+}
+
+func (w *Workload) transposeLocked() *Graph {
+	if !w.directed {
+		return w.g
+	}
 	if w.transpose == nil {
 		w.transpose = w.g.Transpose()
 		w.builds.Transposes++
 	}
 	return w.transpose
+}
+
+// DegreeSorted returns the memoized degree-sorted view of the graph:
+// the CSR permuted so vertex ids descend by degree, plus the permutation
+// and its inverse for un-permuting results at the report boundary. Built
+// on first use, like the transpose.
+func (w *Workload) DegreeSorted() *DegreeSortedView {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degreeSortedLocked()
+}
+
+func (w *Workload) degreeSortedLocked() *DegreeSortedView {
+	if w.ds == nil {
+		w.ds = graph.SortByDegree(w.g)
+		w.builds.DegreeSorts++
+	}
+	return w.ds
+}
+
+// SortedTranspose returns the in-edge view of the degree-sorted graph —
+// the pull view of a directed degree-sorted run — memoized like the plain
+// transpose. For an undirected workload it is the degree-sorted graph
+// itself.
+func (w *Workload) SortedTranspose() *Graph {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sortedTransposeLocked()
+}
+
+func (w *Workload) sortedTransposeLocked() *Graph {
+	ds := w.degreeSortedLocked()
+	if !w.directed {
+		return ds.G
+	}
+	if w.dsTranspose == nil {
+		w.dsTranspose = ds.G.Transpose()
+		w.builds.Transposes++
+	}
+	return w.dsTranspose
+}
+
+// HubSplit returns the memoized hub split of size k over the requested
+// pull view: the degree-sorted graph when sorted, the in-edge view when
+// in (directed pull), the graph itself otherwise. One split is built per
+// distinct (k, view) combination and shared by every later run.
+func (w *Workload) HubSplit(k int, sorted, in bool) *HubSplit {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hubs == nil {
+		w.hubs = map[hubKey]*HubSplit{}
+	}
+	key := hubKey{k: k, sorted: sorted, in: in}
+	hs, ok := w.hubs[key]
+	if !ok {
+		var view *Graph
+		switch {
+		case sorted && in:
+			view = w.sortedTransposeLocked()
+		case sorted:
+			view = w.degreeSortedLocked().G
+		case in:
+			view = w.transposeLocked()
+		default:
+			view = w.g
+		}
+		hs = graph.BuildHubSplit(view, k)
+		w.hubs[key] = hs
+		w.builds.HubSplits++
+	}
+	return hs
 }
 
 // PA returns the Partition-Awareness split (§5, Algorithm 8) of the graph
@@ -250,6 +382,19 @@ func (w *Workload) contentID() string {
 	}
 	kind |= uint64(w.defaultParts) << 3
 	put(kind)
+	// The layout declarations change what a run computes over (the
+	// degree-sorted permutation, the hub split), so they are part of the
+	// identity too — but the word is folded only when one is set, keeping
+	// plain handles' IDs (and their DiskStore/shard placements) identical
+	// to releases that predate the options.
+	if w.degreeSorted || w.hubK != 0 {
+		var opt uint64 = 1
+		if w.degreeSorted {
+			opt |= 2
+		}
+		opt |= uint64(uint32(int32(w.hubK))) << 2
+		put(opt)
+	}
 	return fmt.Sprintf("w%016x-n%d", h.Sum64(), g.N())
 }
 
@@ -274,6 +419,16 @@ func (w *Workload) Kind() string {
 	}
 	if w.defaultParts > 0 {
 		k += fmt.Sprintf(" partitioned(%d)", w.defaultParts)
+	}
+	if w.degreeSorted {
+		k += " degree-sorted"
+	}
+	if w.hubK != 0 {
+		if w.hubK == AutoHubCache {
+			k += " hub-cached(auto)"
+		} else {
+			k += fmt.Sprintf(" hub-cached(%d)", w.hubK)
+		}
 	}
 	return k
 }
