@@ -37,20 +37,20 @@ func (b *builtin) Run(ctx context.Context, w *Workload, cfg *Config) (*Report, e
 
 func init() {
 	for _, b := range []*builtin{
-		{"pr", "PageRank (§3.1, Algorithm 1; +Partition-Awareness §5; directed per §4.8)",
-			Caps{Directed: true, Probes: true, PartitionAware: true, DegreeSort: true, HubCache: true}, runPR},
+		{"pr", "PageRank (§3.1, Algorithm 1; +Partition-Awareness §5; directed per §4.8; out-of-core block pull)",
+			Caps{Directed: true, Probes: true, PartitionAware: true, DegreeSort: true, HubCache: true, OutOfCore: true}, runPR},
 		{"tc", "triangle counting (§3.2, Algorithm 2; +Partition-Awareness §5)",
 			Caps{Probes: true, PartitionAware: true}, runTC},
-		{"bfs", "generalized breadth-first search (§3.3, Algorithm 3; Auto = direction-optimizing)",
-			Caps{NeedsSource: true, Probes: true, DegreeSort: true, HubCache: true}, runBFS},
+		{"bfs", "generalized breadth-first search (§3.3, Algorithm 3; Auto = direction-optimizing; out-of-core block pull)",
+			Caps{NeedsSource: true, Probes: true, DegreeSort: true, HubCache: true, OutOfCore: true}, runBFS},
 		{"sssp", "Δ-stepping shortest paths (§3.4, Algorithm 4; Auto = adaptive switching)",
 			Caps{NeedsWeights: true, NeedsSource: true, Probes: true}, runSSSP},
 		{"bc", "Brandes betweenness centrality (§3.5, Algorithm 5)",
 			Caps{NeedsSource: true, Probes: true}, runBC},
-		{"gc", "Boman graph coloring (§3.6, Algorithm 6; WithSwitchPolicy = Frontier-Exploit+GS/GrS §5)",
-			Caps{Probes: true, DegreeSort: true}, runGC},
-		{"gc-fe", "Frontier-Exploit coloring (§5), optionally with a switch policy",
-			Caps{Probes: true, DegreeSort: true}, runGCFE},
+		{"gc", "Boman graph coloring (§3.6, Algorithm 6; WithSwitchPolicy = Frontier-Exploit+GS/GrS §5; hub-cached pull)",
+			Caps{Probes: true, DegreeSort: true, HubCache: true}, runGC},
+		{"gc-fe", "Frontier-Exploit coloring (§5), optionally with a switch policy; hub-cached pull discovery",
+			Caps{Probes: true, DegreeSort: true, HubCache: true}, runGCFE},
 		{"gc-cr", "Conflict-Removal coloring (§5, Algorithm 9)",
 			Caps{Probes: true}, runGCCR},
 		{"mst", "Borůvka minimum spanning tree (§3.7, Algorithm 7)",
@@ -87,6 +87,9 @@ func coreTrace(dirs []core.Direction) []Direction {
 // ---- PageRank ----
 
 func runPR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	if cfg.outOfCore(w) {
+		return runPRBlocked(ctx, w, cfg)
+	}
 	if w.IsDirected() {
 		return runPRDirected(ctx, w, cfg)
 	}
@@ -189,6 +192,44 @@ func runPR(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		ranks = unpermuteFloats(lay.ds, ranks)
 	}
 	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(dir, stats.Iterations)}, nil
+}
+
+// runPRBlocked runs PageRank out-of-core: the block-sequential pull
+// kernel streams the pull-view adjacency (the transpose, for directed
+// workloads — the file stores in-edges plus the out-degree sidecar) from
+// the workload's memoized block file. validateCaps has already rejected
+// push and the in-memory layout options; the payload matches in-memory
+// pull runs up to floating-point reassociation.
+func runPRBlocked(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	bg, err := w.OutOfCore()
+	if err != nil {
+		return nil, err
+	}
+	opt := pr.Options{Options: cfg.coreOptions(ctx), Iterations: cfg.Iterations}
+	if cfg.DampingSet {
+		opt.SetDamping(cfg.Damping)
+	}
+	if cfg.Probes {
+		start := time.Now()
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(w.N()))
+		ranks, err := pr.PullBlockedProfiled(bg, opt, prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		iters := cfg.Iterations
+		if iters <= 0 {
+			iters = pr.DefaultIterations
+		}
+		return &Report{Result: ranks,
+			Stats:      RunStats{Direction: core.Pull, Iterations: iters, Elapsed: time.Since(start)},
+			Directions: uniformTrace(core.Pull, iters), Counters: &rep}, nil
+	}
+	ranks, stats, err := pr.PullBlocked(bg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Result: ranks, Stats: stats, Directions: uniformTrace(core.Pull, stats.Iterations)}, nil
 }
 
 // runPRDirected dispatches pr on a directed workload to the §4.8 kernels:
@@ -343,6 +384,9 @@ func runTC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 // ---- BFS ----
 
 func runBFS(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	if cfg.outOfCore(w) {
+		return runBFSBlocked(ctx, w, cfg)
+	}
 	// Source range is validated by the NeedsSource capability gate.
 	g := w.Graph()
 	mode := bfs.Auto // the direction-optimizing switch of Beamer et al.
@@ -383,6 +427,32 @@ func runBFS(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	tree, dirs, stats := bfs.TraverseFromHub(g, hs, root, mode, cfg.coreOptions(ctx))
 	if lay.ds != nil {
 		tree = unpermuteTree(lay.ds, tree)
+	}
+	return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs)}, nil
+}
+
+// runBFSBlocked runs BFS out-of-core: every round is a block-sequential
+// bottom-up (pull) pass with a per-block frontier summary skipping cold
+// blocks; validateCaps has already rejected ForcePush. Levels match the
+// in-memory kernels exactly; parents are valid tree edges (the
+// deterministic block-scan order claims them, not a push race).
+func runBFSBlocked(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
+	bg, err := w.OutOfCore()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Probes {
+		prof, grp := core.CountingProfile(cfg.effectiveThreads(w.N()))
+		tree, dirs, stats, err := bfs.TraverseBlockedProfiled(bg, cfg.Source, cfg.coreOptions(ctx), prof, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := grp.Report()
+		return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs), Counters: &rep}, nil
+	}
+	tree, dirs, stats, err := bfs.TraverseBlocked(bg, cfg.Source, cfg.coreOptions(ctx))
+	if err != nil {
+		return nil, err
 	}
 	return &Report{Result: tree, Stats: stats, Directions: coreTrace(dirs)}, nil
 }
@@ -468,14 +538,19 @@ func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	}
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push) // push maintains the exact dirty set
-	// Degree sorting runs the coloring over the permuted graph (hub
-	// caching is not wired for gc — resolveLayout ignores an ambient
-	// AsHubCached here); the colors are un-permuted at the boundary. The
-	// permuted run may pick different (still proper) colors than a plain
-	// one: iteration order is part of Boman coloring's outcome.
-	lay := resolveLayout(w, cfg, false)
+	// Degree sorting runs the coloring over the permuted graph; the colors
+	// are un-permuted at the boundary. The permuted run may pick different
+	// (still proper) colors than a plain one: iteration order is part of
+	// Boman coloring's outcome. Hub caching serves the pull conflict
+	// scan's hub-neighbor color reads from a k-entry cache — the coloring
+	// itself is unchanged.
+	lay := resolveLayout(w, cfg, true)
 	if lay.ds != nil {
 		g = lay.ds.G
+	}
+	var hs *HubSplit
+	if dir == core.Pull && lay.hubK > 0 {
+		hs = w.HubSplit(lay.hubK, lay.ds != nil, false)
 	}
 	part := NewPartition(g.N(), cfg.partitions(w))
 
@@ -488,9 +563,12 @@ func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		prof, grp := core.CountingProfile(t)
 		var res *gc.ProfiledResult
 		var err error
-		if dir == core.Push {
+		switch {
+		case dir == core.Push:
 			res, err = gc.PushProfiled(g, part, opt, prof, nil)
-		} else {
+		case hs != nil:
+			res, err = gc.PullHubProfiled(g, hs, part, opt, prof, nil)
+		default:
 			res, err = gc.PullProfiled(g, part, opt, prof, nil)
 		}
 		if err != nil {
@@ -511,9 +589,12 @@ func runGC(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 
 	var res *gc.Result
 	var err error
-	if dir == core.Push {
+	switch {
+	case dir == core.Push:
 		res, err = gc.Push(g, part, opt)
-	} else {
+	case hs != nil:
+		res, err = gc.PullHub(g, hs, part, opt)
+	default:
 		res, err = gc.Pull(g, part, opt)
 	}
 	if err != nil {
@@ -529,9 +610,16 @@ func runGCFE(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	g := w.Graph()
 	opt := gc.Options{Options: cfg.coreOptions(ctx), MaxIters: cfg.MaxIters}
 	dir := cfg.resolveDir(core.Push)
-	lay := resolveLayout(w, cfg, false)
+	lay := resolveLayout(w, cfg, true)
 	if lay.ds != nil {
 		g = lay.ds.G
+	}
+	// The hub split is built whenever hub caching is on, regardless of the
+	// starting direction: a Generic-Switch policy can flip the run into
+	// pull mid-way, and only pull rounds consult the cache.
+	var hs *HubSplit
+	if lay.hubK > 0 {
+		hs = w.HubSplit(lay.hubK, lay.ds != nil, false)
 	}
 	// The built-in policies are re-instantiated per run: GenericSwitch
 	// latches one-shot state after flipping, so handing the caller's
@@ -546,7 +634,13 @@ func runGCFE(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 	}
 	if cfg.Probes {
 		prof, grp := core.CountingProfile(cfg.effectiveThreads(g.N()))
-		res, err := gc.FrontierExploitProfiled(g, opt, dir, policy, prof, nil)
+		var res *gc.Result
+		var err error
+		if hs != nil {
+			res, err = gc.FrontierExploitHubProfiled(g, hs, opt, dir, policy, prof, nil)
+		} else {
+			res, err = gc.FrontierExploitProfiled(g, opt, dir, policy, prof, nil)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -556,7 +650,12 @@ func runGCFE(ctx context.Context, w *Workload, cfg *Config) (*Report, error) {
 		rep := grp.Report()
 		return &Report{Result: res, Stats: res.Stats, Directions: coreTrace(res.Dirs), Counters: &rep}, nil
 	}
-	res := gc.FrontierExploit(g, opt, dir, policy)
+	var res *gc.Result
+	if hs != nil {
+		res = gc.FrontierExploitHub(g, hs, opt, dir, policy)
+	} else {
+		res = gc.FrontierExploit(g, opt, dir, policy)
+	}
 	if lay.ds != nil {
 		res = unpermuteColoring(lay.ds, res)
 	}

@@ -45,7 +45,11 @@ type RunOptions struct {
 	Damping        *float64 `json:"damping,omitempty"`
 	Partitions     int      `json:"partitions,omitempty"`
 	PartitionAware bool     `json:"partition_aware,omitempty"`
-	Ranks          int      `json:"ranks,omitempty"`
+	// OutOfCore asks for the block-sequential out-of-core kernels even on
+	// an in-memory graph (graphs stored past the server's memory budget
+	// run out-of-core regardless, with no option needed).
+	OutOfCore bool `json:"out_of_core,omitempty"`
+	Ranks     int  `json:"ranks,omitempty"`
 	// TimeoutMS bounds the run server-side; the request context already
 	// cancels it when the client disconnects.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -94,6 +98,9 @@ func (o *RunOptions) ToOptions() ([]pushpull.Option, error) {
 	}
 	if o.PartitionAware {
 		opts = append(opts, pushpull.WithPartitionAwareness())
+	}
+	if o.OutOfCore {
+		opts = append(opts, pushpull.WithOutOfCore())
 	}
 	if o.Ranks != 0 {
 		opts = append(opts, pushpull.WithRanks(o.Ranks))

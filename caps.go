@@ -45,6 +45,13 @@ type Caps struct {
 	// others fails with ErrHubCacheUnsupported (the workload-level
 	// declaration is ignored where unsupported).
 	HubCache bool
+	// OutOfCore marks algorithms with block-sequential kernels over the
+	// out-of-core block layout (WithOutOfCore / AsOutOfCore). An explicit
+	// WithOutOfCore on others fails with ErrOutOfCoreUnsupported, as does
+	// ANY run of an unsupporting algorithm on a pure file handle — there
+	// is no in-memory graph to fall back to (an in-memory AsOutOfCore
+	// declaration, by contrast, is ambient and ignored where unsupported).
+	OutOfCore bool
 }
 
 // String renders the capability set as a compact tag list.
@@ -65,6 +72,7 @@ func (c Caps) String() string {
 	add(c.PartitionAware, "pa")
 	add(c.DegreeSort, "degree-sort")
 	add(c.HubCache, "hub-cache")
+	add(c.OutOfCore, "out-of-core")
 	if out == "" {
 		return "-"
 	}
@@ -92,6 +100,10 @@ var (
 	// ErrHubCacheUnsupported: the algorithm's pull kernel has no
 	// hub-cached variant.
 	ErrHubCacheUnsupported = errors.New("hub-cached (WithHubCache) runs unsupported")
+	// ErrOutOfCoreUnsupported: the algorithm has no block-sequential
+	// out-of-core kernel (or the workload is a pure file handle no
+	// in-memory kernel can serve).
+	ErrOutOfCoreUnsupported = errors.New("out-of-core (WithOutOfCore) runs unsupported")
 	// ErrBadSource: a configured source vertex is outside the workload's
 	// vertex range.
 	ErrBadSource = errors.New("source vertex out of range")
@@ -145,6 +157,25 @@ func validateCaps(a Algorithm, w *Workload, cfg *Config) error {
 	}
 	if cfg.HubCache != 0 && !caps.HubCache {
 		return fmt.Errorf("pushpull: %s with WithHubCache: %w", name, ErrHubCacheUnsupported)
+	}
+	if !caps.OutOfCore {
+		if cfg.OutOfCore {
+			return fmt.Errorf("pushpull: %s with WithOutOfCore: %w", name, ErrOutOfCoreUnsupported)
+		}
+		if w.Graph() == nil {
+			return fmt.Errorf("pushpull: %s on a pure out-of-core workload: %w (no in-memory graph to run on)", name, ErrOutOfCoreUnsupported)
+		}
+	}
+	if caps.OutOfCore && cfg.outOfCore(w) {
+		// The block kernels are pull-by-construction and stream the plain
+		// pull-view layout; directions and layouts that cannot be honored
+		// fail loudly instead of being silently rewritten.
+		if cfg.Direction == Push {
+			return fmt.Errorf("pushpull: %s out-of-core with WithDirection(Push): %w (block kernels are pull-only)", name, ErrBadOption)
+		}
+		if cfg.DegreeSorted || cfg.HubCache != 0 || cfg.PartitionAware || cfg.PA != nil {
+			return fmt.Errorf("pushpull: %s: degree-sort/hub-cache/partition-awareness with WithOutOfCore: %w (block kernels stream the plain pull layout)", name, ErrBadOption)
+		}
 	}
 	// The PA split is laid out over the plain graph, so the explicit
 	// layout options do not compose with Partition-Awareness (the

@@ -1,9 +1,21 @@
 // Command benchdiff compares two tracked bench trajectory files and
-// prints per-kernel ns/edge deltas. It is report-only: the exit status
-// does not depend on the deltas, so CI can surface regressions in the
-// job log without gating merges on noisy timing.
+// prints per-kernel ns/edge deltas. By default it is report-only: the
+// exit status does not depend on the deltas, so CI can surface
+// regressions in the job log without gating merges on noisy timing.
+// With -gate <pct> it exits nonzero when any single-thread plain-variant
+// row regresses by more than pct percent — the plain rows are the
+// off-switch baseline the acceptance criteria protect, and at one
+// thread they are the least noisy rows in the file, so they are the
+// only ones worth failing a build over (multithread rows ride the
+// scheduler and stay report-only). The
+// variance bounds keep the gate honest: when both files carry medians,
+// a row gates only if the min-of-reps AND the median regress past the
+// threshold (a real regression moves the whole distribution; scheduler
+// noise rarely moves both), and a row whose median sits more than 50%
+// above its own minimum is reported but never gates.
 //
 //	go run ./cmd/benchdiff -old BENCH_pr6.json -new BENCH_pr9.json
+//	go run ./cmd/benchdiff -old BENCH_pr10_smoke.json -new /tmp/smoke.json -gate 25
 //
 // Both schema generations are accepted: pre-PR9 files carry one
 // top-level graph and bare (algorithm, direction) kernel rows; newer
@@ -37,7 +49,16 @@ type kernelRow struct {
 	Variant   string  `json:"variant"`
 	Threads   int     `json:"threads"`
 	ElapsedNS int64   `json:"elapsed_ns"`
+	MedianNS  int64   `json:"median_ns"`
 	NSPerEdge float64 `json:"ns_per_edge"`
+}
+
+// noisy reports whether a row's variance bound disqualifies it from
+// gating: the median sits more than 50% above the recorded minimum.
+// Rows from files without medians (pre-PR10) are never noisy.
+func (k kernelRow) noisy() bool {
+	return k.MedianNS > 0 && k.ElapsedNS > 0 &&
+		float64(k.MedianNS) > 1.5*float64(k.ElapsedNS)
 }
 
 type benchFile struct {
@@ -100,6 +121,7 @@ func index(f *benchFile) map[key]kernelRow {
 func main() {
 	oldPath := flag.String("old", "BENCH_pr6.json", "baseline trajectory file")
 	newPath := flag.String("new", "BENCH_pr9.json", "candidate trajectory file")
+	gate := flag.Float64("gate", 0, "fail (exit 1) when a plain-variant row regresses by more than this percent; 0 keeps the report-only behavior")
 	flag.Parse()
 
 	oldFile, err := load(*oldPath)
@@ -138,6 +160,7 @@ func main() {
 	fmt.Printf("%-6s %-6s %-5s %-7s %3s %12s %12s %9s\n",
 		"graph", "algo", "dir", "variant", "t", "old", "new", "delta")
 	matched, unmatched := 0, 0
+	var regressions []string
 	for _, k := range keys {
 		nk := newRows[k]
 		ok, found := oldRows[k]
@@ -149,10 +172,34 @@ func main() {
 		}
 		matched++
 		delta := 100 * (nk.NSPerEdge - ok.NSPerEdge) / ok.NSPerEdge
-		fmt.Printf("%-6s %-6s %-5s %-7s %3d %12.2f %12.2f %+8.1f%%\n",
-			k.graph, k.algo, k.dir, k.variant, k.threads, ok.NSPerEdge, nk.NSPerEdge, delta)
+		note := ""
+		if *gate > 0 && k.variant == "plain" && k.threads == 1 && delta > *gate {
+			switch {
+			case ok.noisy() || nk.noisy():
+				note = "  (noisy, not gated)"
+			case ok.MedianNS > 0 && nk.MedianNS > 0 &&
+				100*float64(nk.MedianNS-ok.MedianNS)/float64(ok.MedianNS) <= *gate:
+				// The minimum regressed but the median did not: the
+				// distribution has not moved, only its best sample.
+				note = "  (median holds, not gated)"
+			default:
+				note = "  REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s/%s t=%d: %.2f -> %.2f ns/edge (%+.1f%% > %.0f%%)",
+					k.graph, k.algo, k.dir, k.threads, ok.NSPerEdge, nk.NSPerEdge, delta, *gate))
+			}
+		}
+		fmt.Printf("%-6s %-6s %-5s %-7s %3d %12.2f %12.2f %+8.1f%%%s\n",
+			k.graph, k.algo, k.dir, k.variant, k.threads, ok.NSPerEdge, nk.NSPerEdge, delta, note)
 	}
 	fmt.Printf("%d row(s) compared, %d new row(s) without a baseline\n", matched, unmatched)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d plain-variant regression(s) beyond %.0f%%:\n", len(regressions), *gate)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
 }
 
 func fatal(format string, args ...any) {

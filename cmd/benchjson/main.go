@@ -10,14 +10,21 @@
 //
 // Every kernel row is self-describing: it records its graph, thread
 // count (GOMAXPROCS is pinned per row), layout variant (plain,
-// degree-sorted, hub-cached, or both — the off-switch baseline is the
-// "plain" row), the kernel's Stats.Elapsed (minimum over -reps runs;
-// workload construction, transposes, permutations and hub splits are
-// excluded by construction, they are memoized on the Workload handle),
-// ns/edge — the normalization the paper's tables use — and the peak
-// RSS observed while the row ran. With -validate each layout variant's
-// payload is cross-checked against the plain kernel's before the row
-// is recorded.
+// degree-sorted, hub-cached, out-of-core, or combinations — the
+// off-switch baseline is the "plain" row), the kernel's Stats.Elapsed
+// (minimum over -reps runs, with the median carried alongside as the
+// variance bound; workload construction, transposes, permutations and
+// hub splits are excluded by construction, they are memoized on the
+// Workload handle), ns/edge — the normalization the paper's tables use
+// — and the peak RSS observed while the row ran. With -validate each
+// layout variant's payload is cross-checked against the plain kernel's
+// before the row is recorded.
+//
+// The out_of_core section is the tentpole RSS evidence: per graph, the
+// same pull PageRank runs once over the in-memory CSR and once over a
+// buffered block-file handle with the in-memory graph released, and the
+// file records both absolute peak RSS values next to the estimated CSR
+// footprint. The payloads must agree to 1e-9 or the tool fails.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,19 +46,42 @@ import (
 )
 
 type kernelEntry struct {
-	Graph        string  `json:"graph"`
-	Algorithm    string  `json:"algorithm"`
-	Direction    string  `json:"direction"`
-	Variant      string  `json:"variant"`
-	DegreeSorted bool    `json:"degree_sorted"`
-	HubCache     int     `json:"hub_cache"`
-	Threads      int     `json:"threads"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	Iterations   int     `json:"iterations"`
-	Reps         int     `json:"reps"`
-	ElapsedNS    int64   `json:"elapsed_ns"`
+	Graph        string `json:"graph"`
+	Algorithm    string `json:"algorithm"`
+	Direction    string `json:"direction"`
+	Variant      string `json:"variant"`
+	DegreeSorted bool   `json:"degree_sorted"`
+	HubCache     int    `json:"hub_cache"`
+	OutOfCore    bool   `json:"out_of_core,omitempty"`
+	Threads      int    `json:"threads"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Iterations   int    `json:"iterations"`
+	Reps         int    `json:"reps"`
+	ElapsedNS    int64  `json:"elapsed_ns"`
+	// MedianNS bounds the run-to-run variance next to the minimum: a
+	// row whose median sits far above its minimum is noisy, and diff
+	// tooling can weigh its deltas accordingly.
+	MedianNS     int64   `json:"median_ns"`
 	NSPerEdge    float64 `json:"ns_per_edge"`
 	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+}
+
+// oocEntry is one graph's out-of-core RSS evidence: identical pull
+// PageRank payloads from the in-memory CSR and from a buffered block
+// file, with the absolute peak RSS of each phase. The out-of-core peak
+// excludes the O(m) adjacency by construction — only the O(n) vertex
+// state and one block per worker are resident.
+type oocEntry struct {
+	Graph             string  `json:"graph"`
+	Algorithm         string  `json:"algorithm"`
+	N                 int     `json:"n"`
+	M                 int64   `json:"m"`
+	CSRBytes          int64   `json:"csr_bytes"`
+	InMemoryPeakRSS   int64   `json:"in_memory_peak_rss_bytes"`
+	OutOfCorePeakRSS  int64   `json:"out_of_core_peak_rss_bytes"`
+	InMemoryElapsedNS int64   `json:"in_memory_elapsed_ns"`
+	OutOfCoreElapsed  int64   `json:"out_of_core_elapsed_ns"`
+	MaxRankDiff       float64 `json:"max_rank_diff"`
 }
 
 type engineEntry struct {
@@ -74,6 +106,7 @@ type benchFile struct {
 	GOMAXPROCS    int           `json:"gomaxprocs"`
 	Graphs        []graphEntry  `json:"graphs"`
 	Kernels       []kernelEntry `json:"kernels"`
+	OutOfCore     []oocEntry    `json:"out_of_core"`
 	Engine        engineEntry   `json:"engine"`
 }
 
@@ -83,13 +116,15 @@ type variant struct {
 	name         string
 	degreeSorted bool
 	hubCache     int
+	outOfCore    bool
 }
 
 // variantsFor returns the layout variants worth measuring for an
 // (algorithm, direction) pair: the plain baseline always (the
 // off-switch row the acceptance gate compares against), degree sorting
-// where the algorithm's caps accept it, and the hub cache only on the
-// pull side where the kernels read it.
+// where the algorithm's caps accept it, the hub cache only on the pull
+// side where the kernels read it, and the block-sequential out-of-core
+// kernels where they exist (pull-only by construction).
 func variantsFor(algo string, dir pushpull.Direction) []variant {
 	vs := []variant{{name: "plain"}}
 	switch algo {
@@ -98,10 +133,16 @@ func variantsFor(algo string, dir pushpull.Direction) []variant {
 		if dir == pushpull.Pull {
 			vs = append(vs,
 				variant{name: "hub", hubCache: pushpull.AutoHubCache},
-				variant{name: "ds+hub", degreeSorted: true, hubCache: pushpull.AutoHubCache})
+				variant{name: "ds+hub", degreeSorted: true, hubCache: pushpull.AutoHubCache},
+				variant{name: "ooc", outOfCore: true})
 		}
 	case "gc", "gc-fe":
 		vs = append(vs, variant{name: "ds", degreeSorted: true})
+		if dir == pushpull.Pull {
+			vs = append(vs,
+				variant{name: "hub", hubCache: pushpull.AutoHubCache},
+				variant{name: "ds+hub", degreeSorted: true, hubCache: pushpull.AutoHubCache})
+		}
 	}
 	return vs
 }
@@ -132,6 +173,18 @@ func main() {
 	}
 
 	ctx := context.Background()
+
+	// The RSS evidence runs first, against a fresh heap: nothing from the
+	// kernel rows below is resident yet, so the in-memory and out-of-core
+	// peaks differ by the CSR footprint, not by allocator history.
+	for _, graphID := range strings.Split(*graphList, ",") {
+		graphID = strings.TrimSpace(graphID)
+		if graphID == "" {
+			continue
+		}
+		file.OutOfCore = append(file.OutOfCore, oocEvidence(ctx, graphID, *scale, *seed, *iters))
+	}
+
 	algorithms := []string{"pr", "tc", "bfs", "sssp", "bc", "gc", "gc-fe", "gc-cr", "mst"}
 	var firstWorkload *pushpull.Workload
 	for _, graphID := range strings.Split(*graphList, ",") {
@@ -171,8 +224,8 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal("writing %s: %v", *out, err)
 	}
-	fmt.Printf("wrote %s: %d kernel rows over %d graph(s), threads %v\n",
-		*out, len(file.Kernels), len(file.Graphs), threads)
+	fmt.Printf("wrote %s: %d kernel rows + %d out-of-core entries over %d graph(s), threads %v\n",
+		*out, len(file.Kernels), len(file.OutOfCore), len(file.Graphs), threads)
 }
 
 // benchGraph measures every (algorithm, direction, variant) row on one
@@ -197,6 +250,9 @@ func benchGraph(ctx context.Context, w *pushpull.Workload, graphID string, algor
 				if v.hubCache != 0 {
 					opts = append(opts, pushpull.WithHubCache(v.hubCache))
 				}
+				if v.outOfCore {
+					opts = append(opts, pushpull.WithOutOfCore())
+				}
 				if algo == "pr" {
 					opts = append(opts, pushpull.WithIterations(iters))
 				}
@@ -213,6 +269,7 @@ func benchGraph(ctx context.Context, w *pushpull.Workload, graphID string, algor
 				best := int64(0)
 				iterations := 0
 				skipped := false
+				elapsed := make([]int64, 0, reps)
 				rss := startRSSSampler()
 				var last *pushpull.Report
 				for r := 0; r < reps; r++ {
@@ -224,7 +281,9 @@ func benchGraph(ctx context.Context, w *pushpull.Workload, graphID string, algor
 						break
 					}
 					last = rep
-					if e := int64(rep.Stats.Elapsed); best == 0 || e < best {
+					e := int64(rep.Stats.Elapsed)
+					elapsed = append(elapsed, e)
+					if best == 0 || e < best {
 						best = e
 						iterations = rep.Stats.Iterations
 					}
@@ -247,11 +306,13 @@ func benchGraph(ctx context.Context, w *pushpull.Workload, graphID string, algor
 					Variant:      v.name,
 					DegreeSorted: v.degreeSorted,
 					HubCache:     v.hubCache,
+					OutOfCore:    v.outOfCore,
 					Threads:      threads,
 					GOMAXPROCS:   runtime.GOMAXPROCS(0),
 					Iterations:   iterations,
 					Reps:         reps,
 					ElapsedNS:    best,
+					MedianNS:     medianNS(elapsed),
 					NSPerEdge:    float64(best) / float64(w.M()),
 					PeakRSSBytes: peak,
 				})
@@ -259,6 +320,98 @@ func benchGraph(ctx context.Context, w *pushpull.Workload, graphID string, algor
 		}
 	}
 	return rows
+}
+
+// medianNS returns the median of the per-rep elapsed samples (0 when
+// the row recorded none).
+func medianNS(samples []int64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
+}
+
+// oocEvidence produces the out-of-core RSS proof for one graph: pull
+// PageRank once over the in-memory CSR and once over a buffered block
+// file with the in-memory graph released in between, sampling the
+// absolute peak RSS of each phase. The buffered handle keeps the O(n)
+// vertex state and one block per worker resident — never the O(m)
+// adjacency — so the second peak must sit below the first by roughly
+// the CSR footprint once the adjacency dominates. The two payloads must
+// agree to 1e-9 or the tool fails.
+func oocEvidence(ctx context.Context, graphID string, scale float64, seed uint64, iters int) oocEntry {
+	g, err := pushpull.NamedWeightedGraph(graphID, scale, seed)
+	if err != nil {
+		fatal("ooc workload %s: %v", graphID, err)
+	}
+	w := pushpull.NewWorkload(g, pushpull.AsWeighted())
+	entry := oocEntry{Graph: graphID, Algorithm: "pr", N: w.N(), M: w.M()}
+	// Estimated in-memory CSR footprint: offsets + adjacency + weights.
+	entry.CSRBytes = 8*int64(w.N()+1) + 4*w.M() + 4*w.M()
+
+	dir, err := os.MkdirTemp("", "benchjson-ooc-")
+	if err != nil {
+		fatal("ooc tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := pushpull.NewDiskStore(dir,
+		pushpull.WithBlockThreshold(1), pushpull.WithBufferedBlocks())
+	if err != nil {
+		fatal("ooc store: %v", err)
+	}
+	if err := store.Put(graphID, w); err != nil {
+		fatal("ooc put %s: %v", graphID, err)
+	}
+
+	opts := []pushpull.Option{
+		pushpull.WithDirection(pushpull.Pull),
+		pushpull.WithIterations(iters),
+	}
+	settle := func() {
+		runtime.GC()
+		debug.FreeOSMemory()
+	}
+
+	settle()
+	rss := startRSSSampler()
+	rep, err := pushpull.Run(ctx, w, "pr", opts...)
+	entry.InMemoryPeakRSS = rss.Stop()
+	if err != nil {
+		fatal("ooc in-memory pr %s: %v", graphID, err)
+	}
+	want := rep.Ranks()
+	entry.InMemoryElapsedNS = int64(rep.Stats.Elapsed)
+
+	// Release the in-memory CSR before the out-of-core phase; the block
+	// file is now the only copy of the adjacency.
+	g, w, rep = nil, nil, nil
+	_ = g
+	settle()
+
+	ow, ok, err := store.OutOfCoreHandle(graphID)
+	if err != nil || !ok {
+		fatal("ooc handle %s: ok=%v err=%v", graphID, ok, err)
+	}
+	settle()
+	rss = startRSSSampler()
+	orep, err := pushpull.Run(ctx, ow, "pr", opts...)
+	entry.OutOfCorePeakRSS = rss.Stop()
+	if err != nil {
+		fatal("ooc blocked pr %s: %v", graphID, err)
+	}
+	entry.OutOfCoreElapsed = int64(orep.Stats.Elapsed)
+	entry.MaxRankDiff = pushpull.MaxDiff(want, orep.Ranks())
+	if entry.MaxRankDiff > 1e-9 {
+		fatal("ooc %s: blocked payload diverges from in-memory pull: max diff %g",
+			graphID, entry.MaxRankDiff)
+	}
+	return entry
 }
 
 // crossValidate checks a layout variant's payload against the plain

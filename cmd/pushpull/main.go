@@ -284,13 +284,14 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	cacheTTL := fs.Duration("cache-ttl", 0, "result-cache entry lifetime, e.g. 30s, 5m (0 = no expiry)")
 	shards := fs.Int("shards", 1, "shard executors: graphs are partitioned across independent admission queues")
 	store := fs.String("store", "", "persist uploaded graphs to this directory (restored on restart)")
+	maxMemory := fs.Int64("max-memory", 0, "per-graph memory budget in bytes: stored graphs whose CSR would exceed it are persisted in the out-of-core block format and served block-sequentially off disk (0 = unlimited; requires -store)")
 	graphs := fs.String("graphs", "", "comma-separated suite graph ids to preload (e.g. rmat,rca; weights attached)")
 	maxQueue := fs.Int("max-queue", 1024, "per-shard admission-queue bound: excess runs are shed with 429 + Retry-After (0 = queue unboundedly)")
 	maxUpload := fs.Int64("max-upload", serve.MaxGraphBytes, "PUT /graphs body limit in bytes; larger uploads get 413")
 	jobsParallel := fs.Int("jobs-parallel", 0, "async job dispatch parallelism (0 = GOMAXPROCS; keep at or below -workers for strict priority order)")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-max-queue n] [-max-upload bytes] [-jobs-parallel n] [-store dir] [-graphs ids]\n")
+		fmt.Fprintf(os.Stderr, "usage: pushpull [flags] serve [-addr host:port] [-workers n] [-cache n] [-cache-ttl d] [-shards n] [-max-queue n] [-max-upload bytes] [-jobs-parallel n] [-store dir] [-max-memory bytes] [-graphs ids]\n")
 		os.Exit(2)
 	}
 	// Negative values would otherwise silently mean "unbounded" or
@@ -320,6 +321,13 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	if *jobsParallel < 0 {
 		badFlag("jobs-parallel", "0 means GOMAXPROCS dispatch slots")
 	}
+	if *maxMemory < 0 {
+		badFlag("max-memory", "0 means no per-graph budget")
+	}
+	if *maxMemory > 0 && *store == "" {
+		fmt.Fprintf(os.Stderr, "pushpull: serve: -max-memory requires -store (the out-of-core block files live in the store directory)\n")
+		os.Exit(2)
+	}
 	if *cacheTTL > 0 && *cache == 0 {
 		fmt.Fprintf(os.Stderr, "pushpull: serve: -cache-ttl %v has no effect with -cache 0 (the result cache is disabled)\n", *cacheTTL)
 		os.Exit(2)
@@ -341,7 +349,11 @@ func serveEngine(args []string, scale float64, seed uint64) {
 	eng := pushpull.NewEngine(engOpts...)
 
 	if *store != "" {
-		ds, err := pushpull.NewDiskStore(*store)
+		var dsOpts []pushpull.DiskOption
+		if *maxMemory > 0 {
+			dsOpts = append(dsOpts, pushpull.WithBlockThreshold(*maxMemory))
+		}
+		ds, err := pushpull.NewDiskStore(*store, dsOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pushpull: serve: opening store: %v\n", err)
 			os.Exit(1)

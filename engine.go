@@ -471,7 +471,7 @@ func (e *Engine) RegisterWorkload(name string, w *Workload) error {
 	if name == "" {
 		return fmt.Errorf("pushpull: RegisterWorkload with empty name")
 	}
-	if w == nil || w.g == nil {
+	if w == nil || (w.g == nil && !w.outOfCore) {
 		return fmt.Errorf("pushpull: RegisterWorkload(%q) with nil workload", name)
 	}
 	id := w.ID() // outside the locks: first computation is O(n + m)
@@ -489,6 +489,22 @@ func (e *Engine) RegisterWorkload(name string, w *Workload) error {
 		//pushpull:allow lockheld write-through under mutMu by design: registry, cache invalidation and store must agree in mutation order
 		if err := st.Put(name, w); err != nil {
 			return fmt.Errorf("%w: put %q: %v", ErrStore, name, err)
+		}
+		// A store may have persisted the graph in the out-of-core block
+		// format (DiskStore above its block threshold). If so, swap the
+		// binding to the store's reopened pure file handle: the uploaded
+		// in-memory CSR becomes garbage, and every later run streams the
+		// blocks instead of holding the graph resident — this is how an
+		// upload larger than the memory budget stays servable.
+		if oc, ok := st.(interface {
+			OutOfCoreHandle(string) (*Workload, bool, error)
+		}); ok && w.g != nil {
+			//pushpull:allow lockheld swap-after-put under mutMu by design: the binding must not interleave with another mutation of the name
+			if nw, swapped, err := oc.OutOfCoreHandle(name); err == nil && swapped {
+				e.wlMu.Lock()
+				e.workloads[name] = nw
+				e.wlMu.Unlock()
+			}
 		}
 	}
 	return nil

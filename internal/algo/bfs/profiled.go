@@ -15,6 +15,7 @@ const (
 	regionPushTopDown = iota
 	regionPushFilter
 	regionPullBottomUp
+	regionBlockPull
 )
 
 // TraverseFromProfiled runs a deterministic, instrumented BFS from root,

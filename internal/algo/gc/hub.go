@@ -1,0 +1,320 @@
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"pushpull/internal/atomicx"
+	"pushpull/internal/core"
+	"pushpull/internal/frontier"
+	"pushpull/internal/graph"
+	"pushpull/internal/memsim"
+	"pushpull/internal/sched"
+)
+
+// Hub-cached pull coloring, extending the hub split of "A New Frontier
+// for Pull-Based Graph Processing" to the Boman conflict scan and the
+// Frontier-Exploit pull discovery. Both pull kernels pay one random read
+// per scanned edge — colors[u] in the conflict scan, the frontier bit of
+// u in FE discovery — and on skewed graphs most of those land on the same
+// few hubs. The split's hub prefix stores compact slot ids, so the scan
+// serves hub neighbors from a k-entry cache refreshed once per round
+// (colors are only written in phase 1, frontier membership only between
+// rounds, so the cached values are exact, not stale): the colorings are
+// identical to the plain pull kernels, edge for edge.
+
+// Code regions for instruction-TLB modeling of the hub-cached kernels
+// (continuing after the strategy regions).
+const (
+	regionHubRefresh = iota + 7
+	regionHubFix
+	regionHubDiscover
+)
+
+// PullHub runs Boman coloring with a hub-cached pull conflict scan: the
+// per-iteration border rescan reads hub neighbors' colors (and owners)
+// out of k-entry caches refreshed after phase 1 instead of chasing them
+// through the full color array. hs must be BuildHubSplit(g, k) for the
+// same g. The coloring equals Pull's exactly — the scan visits the same
+// conflict edges with the same outcomes, only reordered within each row.
+func PullHub(g *graph.CSR, hs *graph.HubSplit, part graph.Partition, opt Options) (*Result, error) {
+	opt.defaults()
+	n := g.N()
+	res := &Result{Colors: make([]int32, n)}
+	res.Stats.Direction = core.Pull
+	if n == 0 {
+		return res, nil
+	}
+	if int(part.NumV) != n {
+		return nil, fmt.Errorf("gc: partition over %d vertices for a graph with %d", part.NumV, n)
+	}
+	s := newState(g, part)
+	t := part.P
+	pool := sched.NewPool(t)
+	defer pool.Close()
+
+	border := part.Border(g)
+	borderByOwner := make([][]graph.V, t)
+	for _, v := range border {
+		o := part.Owner(v)
+		borderByOwner[o] = append(borderByOwner[o], v)
+	}
+	conflictCount := make([]int, t)
+	// Same one-lock-per-marking accounting as the plain variants (Table 1).
+	rowLocks := make([]atomicx.SpinLock, n)
+
+	// The caches: color refreshed per iteration, owner fixed for the run.
+	hubColor := make([]int32, hs.K)
+	hubOwner := make([]int32, hs.K)
+	for sl, h := range hs.Hubs {
+		hubOwner[sl] = int32(part.Owner(h))
+	}
+
+	colorPhase := func(w int) { s.colorPartition(w) }
+	refresh := func() {
+		for sl, h := range hs.Hubs {
+			hubColor[sl] = s.colors[h]
+		}
+	}
+	fixConflicts := func(w int) {
+		mark := func(loser graph.V, c int32) {
+			rowLocks[loser].Lock()
+			s.avail[loser].set(c)
+			rowLocks[loser].Unlock()
+			s.needs.Set(loser)
+		}
+		// Pull: each thread scans only the border vertices it owns and
+		// only ever modifies those — hub neighbors come from the caches.
+		for _, v := range borderByOwner[w] {
+			cv := s.colors[v]
+			for _, sl := range hs.HubRow(v) {
+				if hubOwner[sl] == int32(w) || hubColor[sl] != cv {
+					continue
+				}
+				conflictCount[w]++
+				if v > hs.Hubs[sl] { // v loses: mark own state only
+					mark(v, cv)
+				}
+			}
+			for _, u := range hs.ResidualRow(v) {
+				if part.Owner(u) == w || s.colors[u] != cv {
+					continue
+				}
+				conflictCount[w]++
+				if v > u {
+					mark(v, cv)
+				}
+			}
+		}
+	}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if opt.Canceled() {
+			res.Stats.Canceled = true
+			break
+		}
+		start := time.Now()
+		pool.Run(colorPhase)
+		s.needs.Clear()
+		refresh()
+		for i := range conflictCount {
+			conflictCount[i] = 0
+		}
+		pool.Run(fixConflicts)
+		res.Iterations++
+		el := time.Since(start)
+		res.Stats.Record(el)
+		opt.Tick(iter, el)
+
+		total := 0
+		for _, c := range conflictCount {
+			total += c
+		}
+		if total == 0 {
+			break
+		}
+	}
+	copy(res.Colors, s.colors)
+	res.NumColors = CountColors(res.Colors)
+	return res, nil
+}
+
+// PullHubProfiled runs the instrumented hub-cached pull variant. The hub
+// prefix of each border row charges one sequential adjacency read plus one
+// read into the k-entry color cache — no random color fetch — which is
+// exactly the traffic reduction the split claims; the residual suffix pays
+// the plain pull costs, and every conflict marking still takes its row
+// lock (the Table 1 BGC parity).
+func PullHubProfiled(g *graph.CSR, hs *graph.HubSplit, part graph.Partition, opt Options, prof core.Profile, space *memsim.AddressSpace) (*ProfiledResult, error) {
+	opt.defaults()
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if part.P != prof.Threads {
+		part = graph.NewPartition(g.N(), prof.Threads)
+	}
+	n := g.N()
+	if space == nil {
+		space = &memsim.AddressSpace{}
+	}
+	offA := space.NewArray(n+1, 8)
+	adjA := space.NewArray(int(g.M()), 4)
+	colA := space.NewArray(n, 4)
+	availA := space.NewArray(n, 8)
+	hubColA := space.NewArray(hs.K, 4)
+
+	s := newState(g, part)
+	res := &ProfiledResult{Colors: make([]int32, n)}
+	if n == 0 {
+		return res, nil
+	}
+	border := part.Border(g)
+	borderByOwner := make([][]graph.V, part.P)
+	for _, v := range border {
+		o := part.Owner(v)
+		borderByOwner[o] = append(borderByOwner[o], v)
+	}
+	hubColor := make([]int32, hs.K)
+	hubOwner := make([]int32, hs.K)
+	for sl, h := range hs.Hubs {
+		hubOwner[sl] = int32(part.Owner(h))
+	}
+	taken := map[int32]bool{}
+	var conflicts int
+	scanFor := func(w int, verts []graph.V) {
+		p := prof.Probes[w]
+		p.Exec(regionHubFix)
+		for _, v := range verts {
+			p.Read(colA.Addr(int64(v)), 4)
+			cv := s.colors[v]
+			offs := g.Offsets[v]
+			p.Read(offA.Addr(int64(v)), 8)
+			for j, sl := range hs.HubRow(v) {
+				p.Branch(true)
+				p.Read(adjA.Addr(offs+int64(j)), 4) // sequential slot read
+				p.Read(hubColA.Addr(int64(sl)), 4)  // cache-resident color
+				if hubOwner[sl] == int32(w) || hubColor[sl] != cv {
+					continue
+				}
+				conflicts++
+				if v > hs.Hubs[sl] {
+					p.Lock(availA.Addr(int64(v)))
+					p.Write(availA.Addr(int64(v)), 8)
+					s.avail[v].set(cv)
+					s.needs.Set(v)
+				}
+			}
+			resBase := hs.HubEnd[v]
+			for j, u := range hs.ResidualRow(v) {
+				p.Branch(true)
+				p.Read(adjA.Addr(resBase+int64(j)), 4)
+				if part.Owner(u) == w {
+					continue
+				}
+				p.Read(colA.Addr(int64(u)), 4) // R: random residual color
+				if s.colors[u] != cv {
+					continue
+				}
+				conflicts++
+				if v > u {
+					p.Lock(availA.Addr(int64(v)))
+					p.Write(availA.Addr(int64(v)), 8)
+					s.avail[v].set(cv)
+					s.needs.Set(v)
+				}
+			}
+		}
+	}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		iterStart := time.Now()
+		// Phase 1 (profiled): identical to the plain instrumented run.
+		for w := 0; w < part.P; w++ {
+			p := prof.Probes[w]
+			p.Exec(regionColor)
+			lo, hi := part.Range(w)
+			for v := lo; v < hi; v++ {
+				p.Read(colA.Addr(int64(v)), 4)
+				p.Branch(!s.needs.Get(v))
+				if !s.needs.Get(v) {
+					continue
+				}
+				clear(taken)
+				p.Read(offA.Addr(int64(v)), 8)
+				offs := g.Offsets[v]
+				for j, u := range g.Neighbors(v) {
+					p.Branch(true)
+					p.Read(adjA.Addr(offs+int64(j)), 4)
+					p.Read(colA.Addr(int64(u)), 4)
+					if part.Owner(u) == w && s.colors[u] >= 0 {
+						//pushpull:allow alloc taken is a reused scratch set, cleared per vertex; it only grows to one neighborhood's palette
+						taken[s.colors[u]] = true
+					}
+				}
+				p.Read(availA.Addr(int64(v)), 8)
+				s.colors[v] = smallestAllowed(s.avail[v], taken)
+				p.Write(colA.Addr(int64(v)), 4)
+			}
+		}
+		s.needs.Clear()
+
+		// Cache refresh: a single-thread k-entry prologue on probe 0.
+		p0 := prof.Probes[0]
+		p0.Exec(regionHubRefresh)
+		for sl, h := range hs.Hubs {
+			p0.Read(colA.Addr(int64(h)), 4)
+			hubColor[sl] = s.colors[h]
+			p0.Write(hubColA.Addr(int64(sl)), 4)
+		}
+
+		// Phase 2 (profiled): the hub-cached border rescan.
+		conflicts = 0
+		for w := 0; w < part.P; w++ {
+			scanFor(w, borderByOwner[w])
+		}
+		res.Iterations++
+		opt.Tick(iter, time.Since(iterStart))
+		if conflicts == 0 {
+			break
+		}
+	}
+	copy(res.Colors, s.colors)
+	return res, nil
+}
+
+// FrontierExploitHub runs the FE strategy with hub-cached pull discovery:
+// pull rounds probe hub neighbors' frontier membership in a k-bit cache
+// (refreshed from the frontier bitmap each round) and only residual
+// neighbors in the full bitmap. Push rounds and conflict resolution are
+// untouched, so the coloring — and the per-iteration direction trace under
+// a switching policy — equals FrontierExploit's exactly.
+func FrontierExploitHub(g *graph.CSR, hs *graph.HubSplit, opt Options, dir core.Direction, policy core.SwitchPolicy) *Result {
+	return frontierExploit(g, hs, opt, dir, policy)
+}
+
+// hubFrontier is the k-bit frontier-membership cache of FE pull rounds.
+type hubFrontier struct {
+	hs    *graph.HubSplit
+	words []uint64
+}
+
+func newHubFrontier(hs *graph.HubSplit) *hubFrontier {
+	return &hubFrontier{hs: hs, words: make([]uint64, (hs.K+63)/64)}
+}
+
+// refresh rebuilds the cache from the current frontier bitmap.
+func (h *hubFrontier) refresh(inF *frontier.Bitmap) {
+	for i := range h.words {
+		h.words[i] = 0
+	}
+	for sl, hub := range h.hs.Hubs {
+		if inF.Get(hub) {
+			h.words[sl>>6] |= 1 << (uint(sl) & 63)
+		}
+	}
+}
+
+// get reports slot sl's cached frontier membership.
+func (h *hubFrontier) get(sl graph.V) bool {
+	return h.words[sl>>6]&(1<<(uint(sl)&63)) != 0
+}

@@ -1,0 +1,160 @@
+package gc
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/counters"
+	"pushpull/internal/graph"
+)
+
+// hubFixture is a skewed graph with a real hub prefix at k=64.
+func hubFixture(t testing.TB) (*graph.CSR, *graph.HubSplit) {
+	t.Helper()
+	g := rmat(t, 10, 8, 21)
+	hs := graph.BuildHubSplit(g, 64)
+	if hs.HubEdges() == 0 {
+		t.Fatal("fixture has no hub edges")
+	}
+	return g, hs
+}
+
+func TestPullHubValid(t *testing.T) {
+	g := rmat(t, 10, 8, 21)
+	part := graph.NewPartition(g.N(), 4)
+	for _, k := range []int{0, 1, 64, 512, g.N()} {
+		hs := graph.BuildHubSplit(g, k)
+		res, err := PullHub(g, hs, part, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, res.Colors); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Iterations < 1 {
+			t.Fatalf("k=%d: no iterations recorded", k)
+		}
+	}
+}
+
+func TestPullHubPartitionMismatch(t *testing.T) {
+	g, hs := hubFixture(t)
+	if _, err := PullHub(g, hs, graph.NewPartition(5, 2), Options{}); err == nil {
+		t.Fatal("partition mismatch accepted")
+	}
+}
+
+// The serial instrumented runs are deterministic (partitions execute in
+// order), so hub caching must reproduce the plain pull coloring exactly:
+// the scan visits the same conflict edges with the same outcomes.
+func TestPullHubProfiledMatchesPlainProfiled(t *testing.T) {
+	g, hs := hubFixture(t)
+	part := graph.NewPartition(g.N(), 3)
+
+	profPlain, _ := core.CountingProfile(3)
+	want, err := PullProfiled(g, part, Options{}, profPlain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profHub, _ := core.CountingProfile(3)
+	got, err := PullHubProfiled(g, hs, part, Options{}, profHub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("iterations: hub %d, plain %d", got.Iterations, want.Iterations)
+	}
+	for v := range want.Colors {
+		if got.Colors[v] != want.Colors[v] {
+			t.Fatalf("vertex %d: hub color %d, plain color %d", v, got.Colors[v], want.Colors[v])
+		}
+	}
+	if err := Validate(g, got.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FE discovery is race-free in both directions (the candidate set is
+// canonicalized before conflict resolution), so the hub-cached variant
+// must produce the identical coloring and direction trace.
+func TestFrontierExploitHubMatchesPlain(t *testing.T) {
+	g, hs := hubFixture(t)
+	for _, tc := range []struct {
+		name   string
+		dir    core.Direction
+		policy func() core.SwitchPolicy
+	}{
+		{"pull", core.Pull, func() core.SwitchPolicy { return nil }},
+		{"push", core.Push, func() core.SwitchPolicy { return nil }},
+		{"push-gs", core.Push, func() core.SwitchPolicy { return &core.GenericSwitch{Threshold: 1} }},
+	} {
+		opt := Options{MaxIters: 4096}
+		opt.Threads = 4
+		want := FrontierExploit(g, opt, tc.dir, tc.policy())
+		got := FrontierExploitHub(g, hs, opt, tc.dir, tc.policy())
+		if got.Iterations != want.Iterations || got.NumColors != want.NumColors {
+			t.Fatalf("%s: hub (%d iters, %d colors) vs plain (%d iters, %d colors)",
+				tc.name, got.Iterations, got.NumColors, want.Iterations, want.NumColors)
+		}
+		for v := range want.Colors {
+			if got.Colors[v] != want.Colors[v] {
+				t.Fatalf("%s: vertex %d: hub color %d, plain color %d",
+					tc.name, v, got.Colors[v], want.Colors[v])
+			}
+		}
+		for i := range want.Dirs {
+			if got.Dirs[i] != want.Dirs[i] {
+				t.Fatalf("%s: iteration %d direction differs", tc.name, i)
+			}
+		}
+	}
+}
+
+func TestFrontierExploitHubProfiledMatchesPlain(t *testing.T) {
+	g, hs := hubFixture(t)
+	opt := Options{MaxIters: 4096}
+	want := FrontierExploit(g, opt, core.Pull, nil)
+	prof, grp := core.CountingProfile(2)
+	got, err := FrontierExploitHubProfiled(g, hs, opt, core.Pull, nil, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Colors {
+		if got.Colors[v] != want.Colors[v] {
+			t.Fatalf("vertex %d: profiled hub color %d, plain color %d",
+				v, got.Colors[v], want.Colors[v])
+		}
+	}
+	if rep := grp.Report(); rep.Get(counters.Reads) == 0 {
+		t.Fatal("instrumented run charged no reads")
+	}
+}
+
+// Hub caching must not introduce per-edge or per-iteration allocation:
+// a hub run may allocate only the fixed k-entry caches on top of the
+// plain run's setup. Threads 1 keeps ParallelFor inline so goroutine
+// spawning does not drown the measurement; the Boman pool still spins
+// up workers, which is why the bound is a small constant, not zero.
+func TestHubKernelAllocs(t *testing.T) {
+	g, hs := hubFixture(t)
+	part := graph.NewPartition(g.N(), 1)
+	seq := core.Options{Threads: 1}
+
+	plainBoman := testing.AllocsPerRun(5, func() { Pull(g, part, Options{Options: seq}) })
+	hubBoman := testing.AllocsPerRun(5, func() { PullHub(g, hs, part, Options{Options: seq}) })
+	if hubBoman > plainBoman+8 {
+		t.Errorf("hub Boman pull allocates %.0f vs plain %.0f: cache setup should cost O(1) allocs",
+			hubBoman, plainBoman)
+	}
+
+	plainFE := testing.AllocsPerRun(5, func() {
+		FrontierExploit(g, Options{Options: seq, MaxIters: 4096}, core.Pull, nil)
+	})
+	hubFE := testing.AllocsPerRun(5, func() {
+		FrontierExploitHub(g, hs, Options{Options: seq, MaxIters: 4096}, core.Pull, nil)
+	})
+	if hubFE > plainFE+8 {
+		t.Errorf("hub FE allocates %.0f vs plain %.0f: cache setup should cost O(1) allocs",
+			hubFE, plainFE)
+	}
+}

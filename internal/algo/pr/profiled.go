@@ -19,6 +19,7 @@ const (
 	regionPAPhase2
 	regionHubRefresh
 	regionHubGather
+	regionBlockGather
 )
 
 // arrays bundles the modeled address ranges of the PageRank state so the

@@ -124,3 +124,42 @@ func badBitmapPerRound(st *stats, rounds, words int) {
 	}
 	_ = frontier
 }
+
+// blockCursor stands in for the out-of-core reader's per-worker scratch:
+// Load grows its buffer at most once, so the cursor must be hoisted
+// outside the round loop, never rebuilt inside it.
+type blockCursor struct{ buf []byte }
+
+func (c *blockCursor) load(block, size int) {
+	if cap(c.buf) < size {
+		c.buf = make([]byte, size) //pushpull:allow alloc grow-once block scratch, reused across loads
+	}
+	c.buf = c.buf[:size]
+}
+
+// goodBlockIteration mirrors the block-sequential pull kernels: one
+// cursor per worker, hoisted before the round loop, its grow-once buffer
+// amortized across every block of every round.
+func goodBlockIteration(st *stats, rounds, blocks, size int) {
+	var cur blockCursor
+	for i := 0; i < rounds; i++ {
+		for b := 0; b < blocks; b++ {
+			cur.load(b, size)
+			_ = cur.buf
+		}
+		st.Record(0)
+	}
+}
+
+// badBlockIteration rebuilds the cursor's buffer per round, defeating
+// the grow-once amortization the cursor exists for.
+func badBlockIteration(st *stats, rounds, blocks, size int) {
+	for i := 0; i < rounds; i++ {
+		cur := blockCursor{buf: make([]byte, size)} // want `make allocates per iteration`
+		for b := 0; b < blocks; b++ {
+			cur.load(b, size)
+			_ = cur.buf
+		}
+		st.Record(0)
+	}
+}

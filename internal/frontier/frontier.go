@@ -143,9 +143,55 @@ func (b *Bitmap) Get(v graph.V) bool {
 	return b.words[v>>6]&(uint64(1)<<(uint(v)&63)) != 0
 }
 
+// ClearSeq unmarks v without atomics (single-writer phases).
+func (b *Bitmap) ClearSeq(v graph.V) {
+	b.words[v>>6] &^= uint64(1) << (uint(v) & 63)
+}
+
 // Clear resets all bits.
 func (b *Bitmap) Clear() {
 	clear(b.words)
+}
+
+// Fill marks every vertex [0, n): whole words first, then the tail bits,
+// so the capacity slack past n stays zero and Count stays honest.
+func (b *Bitmap) Fill() {
+	full := b.n >> 6
+	for i := 0; i < full; i++ {
+		b.words[i] = ^uint64(0)
+	}
+	if rem := uint(b.n) & 63; rem != 0 {
+		b.words[full] = (uint64(1) << rem) - 1
+	}
+}
+
+// BlockSummary ORs each run of blockVerts/64 words into one summary bit
+// per vertex block: dst's bit i is set iff any vertex of block i is
+// marked. blockVerts must be a positive multiple of 64, so block
+// boundaries never split a word — this is the per-block frontier summary
+// the out-of-core pull kernels consult to skip cold blocks without
+// touching their segments. dst must hold at least
+// ceil(ceil(n/blockVerts)/64) words; the used prefix is rewritten.
+func (b *Bitmap) BlockSummary(dst []uint64, blockVerts int) {
+	wordsPerBlock := blockVerts >> 6
+	numBlocks := (b.n + blockVerts - 1) / blockVerts
+	for i := 0; i < (numBlocks+63)/64; i++ {
+		dst[i] = 0
+	}
+	for bi := 0; bi < numBlocks; bi++ {
+		lo := bi * wordsPerBlock
+		hi := lo + wordsPerBlock
+		if hi > len(b.words) {
+			hi = len(b.words)
+		}
+		var any uint64
+		for _, w := range b.words[lo:hi] {
+			any |= w
+		}
+		if any != 0 {
+			dst[bi>>6] |= uint64(1) << (uint(bi) & 63)
+		}
+	}
 }
 
 // Count returns the number of set bits, scanning words not vertices.

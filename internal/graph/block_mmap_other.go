@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on non-unix platforms reports unsupported; OpenBlockCSR
+// degrades to the buffered ReadAt cursor path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("graph: mmap unsupported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

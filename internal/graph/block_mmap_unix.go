@@ -1,0 +1,25 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. Kernels walk blocks in
+// storage order, so the page faults the mapping takes are sequential —
+// exactly the access pattern readahead is built for.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

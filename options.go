@@ -112,6 +112,11 @@ type Config struct {
 	// size from n, k > 0 is explicit. Other negatives are rejected at Run
 	// entry with ErrBadOption.
 	HubCache int
+	// OutOfCore requests the block-sequential out-of-core kernels: the run
+	// streams adjacency from the workload's memoized block file instead of
+	// in-memory arrays. False defers to the workload's AsOutOfCore
+	// declaration (a pure file handle is always out-of-core).
+	OutOfCore bool
 }
 
 // AutoHubCache is the HubCache/AsHubCached sentinel selecting the
@@ -218,6 +223,16 @@ func WithHubCache(k int) Option {
 	}
 }
 
+// WithOutOfCore runs the block-sequential out-of-core kernels: the
+// pull-view adjacency streams from the workload's memoized block file
+// (mmap-backed, or bounded buffers under AsBlockBuffered) in storage
+// order, so the O(m) edge data never needs to be resident — only the
+// O(n) vertex state does. Applies to algorithms whose Caps declare
+// OutOfCore (pr, bfs); runs are forced to the pull direction (an
+// explicit Push fails with ErrBadOption) and payloads are identical to
+// in-memory runs up to the usual floating-point reassociation.
+func WithOutOfCore() Option { return func(c *Config) { c.OutOfCore = true } }
+
 // ---- helpers for algorithm adapters ----
 
 // coreOptions lowers the shared fields into the internal option struct,
@@ -300,9 +315,9 @@ func (c *Config) fingerprint() (fp string, ok bool) {
 	} else {
 		b.WriteByte('-')
 	}
-	fmt.Fprintf(&b, ";delta=%g;maxit=%d;parts=%d;pa=%t;ranks=%d;ds=%t;hub=%d;srcs=",
+	fmt.Fprintf(&b, ";delta=%g;maxit=%d;parts=%d;pa=%t;ranks=%d;ds=%t;hub=%d;ooc=%t;srcs=",
 		c.Delta, c.MaxIters, c.Partitions, c.PartitionAware, c.Ranks,
-		c.DegreeSorted, c.HubCache)
+		c.DegreeSorted, c.HubCache, c.OutOfCore)
 	// nil and empty Sources are distinct configurations (bc: all
 	// vertices vs zero sources) and must not share a key.
 	if c.Sources == nil {
@@ -319,6 +334,13 @@ func (c *Config) fingerprint() (fp string, ok bool) {
 // declaration.
 func (c *Config) degreeSorted(w *Workload) bool {
 	return c.DegreeSorted || w.IsDegreeSorted()
+}
+
+// outOfCore reports whether a run uses the out-of-core block kernels: an
+// explicit WithOutOfCore, else the workload's AsOutOfCore declaration
+// (which a pure file handle always carries).
+func (c *Config) outOfCore(w *Workload) bool {
+	return c.OutOfCore || w.IsOutOfCore()
 }
 
 // hubCacheK resolves the hub segment size of a run over n vertices:

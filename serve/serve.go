@@ -318,6 +318,12 @@ func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
 		s.epochs[name] = epoch
 		w.Header().Set(EpochHeader, strconv.FormatUint(epoch, 10))
 	}
+	// Report the binding the engine actually serves: a store past its
+	// memory budget swaps the upload for a pure out-of-core handle, and
+	// the client should see that handle's kind and identity.
+	if cur, ok := s.eng.Workload(name); ok {
+		wl = cur
+	}
 	writeJSON(w, http.StatusCreated, graphInfo(name, wl))
 }
 
@@ -514,6 +520,7 @@ func statusFor(err error) int {
 		errors.Is(err, pushpull.ErrDirectedUnsupported),
 		errors.Is(err, pushpull.ErrProbesUnsupported),
 		errors.Is(err, pushpull.ErrPartitionAwareUnsupported),
+		errors.Is(err, pushpull.ErrOutOfCoreUnsupported),
 		errors.Is(err, pushpull.ErrBadSource),
 		errors.Is(err, pushpull.ErrBadOption):
 		return http.StatusBadRequest

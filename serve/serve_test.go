@@ -478,3 +478,48 @@ func TestServePersistenceRestart(t *testing.T) {
 		t.Error("second identical post-restart run missed the cache")
 	}
 }
+
+// TestServeOutOfCoreUpload: a server whose store enforces a memory
+// budget accepts an upload larger than the budget, reports the swapped
+// block-backed binding in the PUT response, and serves runs whose
+// payload matches an unbudgeted server's bit for bit.
+func TestServeOutOfCoreUpload(t *testing.T) {
+	store, err := pushpull.NewDiskStore(t.TempDir(), pushpull.WithBlockThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engOOC := pushpull.NewEngine()
+	if err := engOOC.AttachStore(store); err != nil {
+		t.Fatal(err)
+	}
+	tsOOC := httptest.NewServer(serve.New(engOOC))
+	t.Cleanup(tsOOC.Close)
+	tsPlain, _ := newTestServer(t)
+
+	g := smallGraph(t)
+	info := uploadGraph(t, tsOOC, "demo", pushpull.NewWorkload(g))
+	if !strings.Contains(info.Kind, "out-of-core") {
+		t.Fatalf("PUT response kind %q does not report the out-of-core swap", info.Kind)
+	}
+	if info.N != g.N() || info.M != g.M() {
+		t.Fatalf("PUT response shape %d/%d, want %d/%d", info.N, info.M, g.N(), g.M())
+	}
+	uploadGraph(t, tsPlain, "demo", pushpull.NewWorkload(g))
+
+	body := `{"graph": "demo", "algorithm": "pr", "options": {"iterations": 10}}`
+	got := postRun(t, tsOOC, body, http.StatusOK)
+	want := postRun(t, tsPlain, body, http.StatusOK)
+	if len(got.Ranks) != len(want.Ranks) || len(got.Ranks) == 0 {
+		t.Fatalf("rank payloads: %d vs %d entries", len(got.Ranks), len(want.Ranks))
+	}
+	for i := range want.Ranks {
+		d := got.Ranks[i] - want.Ranks[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("rank %d: out-of-core %g vs in-memory %g", i, got.Ranks[i], want.Ranks[i])
+		}
+	}
+	// Algorithms without block kernels reject the stored handle with a
+	// client error, not a 500.
+	resp := postRun(t, tsOOC, `{"graph": "demo", "algorithm": "tc"}`, http.StatusBadRequest)
+	_ = resp
+}

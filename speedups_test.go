@@ -171,9 +171,8 @@ func TestBFSLayoutOptionsCrossValidate(t *testing.T) {
 
 func TestGCLayoutOptionsProperColoring(t *testing.T) {
 	g := skewedGraph(t)
-	// Explicit degree sort, and a workload declaring both options — gc has
-	// no hub-cached kernel, so the ambient AsHubCached is ignored rather
-	// than rejected.
+	// Explicit degree sort, workloads declaring both layout options, and
+	// the hub-cached pull paths (Boman conflict scan and FE discovery).
 	runs := []struct {
 		name string
 		on   pushpull.Runnable
@@ -183,6 +182,12 @@ func TestGCLayoutOptionsProperColoring(t *testing.T) {
 		{"declared", pushpull.NewWorkload(g, pushpull.AsDegreeSorted(), pushpull.AsHubCached(64)), nil},
 		{"declared-pull", pushpull.NewWorkload(g, pushpull.AsDegreeSorted()),
 			[]pushpull.Option{pushpull.WithDirection(pushpull.Pull)}},
+		{"hub-pull", pushpull.NewWorkload(g),
+			[]pushpull.Option{pushpull.WithHubCache(128), pushpull.WithDirection(pushpull.Pull)}},
+		{"sorted+hub-pull", pushpull.NewWorkload(g),
+			[]pushpull.Option{pushpull.WithDegreeSorted(), pushpull.WithHubCache(128), pushpull.WithDirection(pushpull.Pull)}},
+		{"hub-fe", pushpull.NewWorkload(g),
+			[]pushpull.Option{pushpull.WithHubCache(128), pushpull.WithSwitchPolicy(&pushpull.GenericSwitch{Threshold: 1})}},
 	}
 	for _, r := range runs {
 		rep, err := pushpull.Run(context.Background(), r.on, "gc", r.opts...)
@@ -211,10 +216,10 @@ func TestLayoutOptionCapsErrors(t *testing.T) {
 		pushpull.WithDegreeSorted(), pushpull.WithPartitionAwareness()); !errors.Is(err, pushpull.ErrBadOption) {
 		t.Fatalf("pr degree-sort + PA: %v, want ErrBadOption", err)
 	}
-	// gc supports degree sorting but not hub caching.
-	if _, err := pushpull.Run(context.Background(), g, "gc",
+	// gc-cr supports neither layout option (gc and gc-fe now take both).
+	if _, err := pushpull.Run(context.Background(), g, "gc-cr",
 		pushpull.WithHubCache(8)); !errors.Is(err, pushpull.ErrHubCacheUnsupported) {
-		t.Fatalf("gc WithHubCache: %v, want ErrHubCacheUnsupported", err)
+		t.Fatalf("gc-cr WithHubCache: %v, want ErrHubCacheUnsupported", err)
 	}
 	// A workload-level declaration is ambient: algorithms without support
 	// ignore it instead of failing.

@@ -117,26 +117,66 @@ func (s *MemStore) Delete(name string) error {
 // ID. Workloads that arrived through ReadWorkload (every HTTP upload)
 // round-trip exactly. Writes are atomic (temp file + rename): a crash
 // mid-Put leaves the previous content intact.
+//
+// With WithBlockThreshold, graphs above the threshold are persisted as
+// <name>.blk in the out-of-core block format instead and restore as pure
+// out-of-core handles — see Put and Get.
 type DiskStore struct {
 	dir string
+	// blockThreshold: a Put whose estimated in-memory CSR footprint
+	// exceeds this many bytes is persisted in the block (out-of-core)
+	// format instead of the edge list; ≤ 0 never converts.
+	blockThreshold int64
+	// blockBuffered opens restored block handles in buffered (ReadAt)
+	// mode instead of mmap.
+	blockBuffered bool
 	// mu serializes writers per store; readers go straight to the
 	// filesystem (rename makes each file's content atomic).
 	mu sync.Mutex
 }
 
-// diskExt is the persisted-file suffix.
-const diskExt = ".el"
+// diskExt is the persisted-file suffix for edge-list graphs; blockExt is
+// the suffix for graphs persisted in the out-of-core block format. Put
+// writes exactly one of the two per name.
+const (
+	diskExt  = ".el"
+	blockExt = ".blk"
+)
 
-// NewDiskStore opens (creating if needed) an edge-list store rooted at
-// dir.
-func NewDiskStore(dir string) (*DiskStore, error) {
+// DiskOption configures NewDiskStore.
+type DiskOption func(*DiskStore)
+
+// WithBlockThreshold makes Put persist any workload whose estimated
+// in-memory CSR footprint (offsets + adjacency + weights) exceeds bytes
+// in the on-disk block format instead of the edge-list format. A graph
+// persisted that way restores as a pure out-of-core handle
+// (OpenOutOfCoreWorkload): OutOfCore-capable algorithms stream it
+// block-sequentially off disk, and the process never materializes the
+// full CSR. bytes ≤ 0 (the default) disables the conversion.
+func WithBlockThreshold(bytes int64) DiskOption {
+	return func(s *DiskStore) { s.blockThreshold = bytes }
+}
+
+// WithBufferedBlocks makes restored block handles read through a plain
+// file descriptor (ReadAt) instead of an mmap, trading zero-copy segment
+// access for a resident set that stays bounded by the cursor buffers.
+func WithBufferedBlocks() DiskOption {
+	return func(s *DiskStore) { s.blockBuffered = true }
+}
+
+// NewDiskStore opens (creating if needed) a graph store rooted at dir.
+func NewDiskStore(dir string, opts ...DiskOption) (*DiskStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("diskstore: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
-	return &DiskStore{dir: dir}, nil
+	s := &DiskStore{dir: dir}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -148,12 +188,17 @@ func (s *DiskStore) Dir() string { return s.dir }
 // leading dot is escaped by hand (PathEscape leaves it alone): dotfiles
 // are reserved for the store's own temp files, and a graph named
 // ".hidden" must not be mistaken for one and dropped by Names.
-func (s *DiskStore) path(name string) string {
+func (s *DiskStore) path(name string) string { return s.pathExt(name, diskExt) }
+
+// blockPath is the name's file in the block (out-of-core) format.
+func (s *DiskStore) blockPath(name string) string { return s.pathExt(name, blockExt) }
+
+func (s *DiskStore) pathExt(name, ext string) string {
 	esc := url.PathEscape(name)
 	if strings.HasPrefix(esc, ".") {
 		esc = "%2E" + esc[1:]
 	}
-	return filepath.Join(s.dir, esc+diskExt)
+	return filepath.Join(s.dir, esc+ext)
 }
 
 // Names implements GraphStore.
@@ -163,8 +208,12 @@ func (s *DiskStore) Names() ([]string, error) {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
 	var names []string
+	seen := map[string]bool{}
 	for _, e := range entries {
 		base, ok := strings.CutSuffix(e.Name(), diskExt)
+		if !ok {
+			base, ok = strings.CutSuffix(e.Name(), blockExt)
+		}
 		if !ok || e.IsDir() || strings.HasPrefix(base, ".") {
 			// Temp files and foreign droppings. Persisted names never
 			// produce a dotfile: path() escapes a leading dot.
@@ -174,14 +223,28 @@ func (s *DiskStore) Names() ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("diskstore: undecodable file %q: %w", e.Name(), err)
 		}
+		if seen[name] {
+			continue // both formats present (interrupted Put): list once
+		}
+		seen[name] = true
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil
 }
 
-// Get implements GraphStore.
+// Get implements GraphStore. A name persisted in the block format comes
+// back as a pure out-of-core handle — the full CSR is never materialized,
+// which is the point of WithBlockThreshold: a restart restores the big
+// graphs at the cost of an open fd each, not their memory.
 func (s *DiskStore) Get(name string) (*Workload, error) {
+	if bp := s.blockPath(name); fileExists(bp) {
+		w, err := OpenOutOfCoreWorkload(bp, s.blockOpts()...)
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: %q: %w", name, err)
+		}
+		return w, nil
+	}
 	f, err := os.Open(s.path(name))
 	if err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
@@ -194,18 +257,66 @@ func (s *DiskStore) Get(name string) (*Workload, error) {
 	return w, nil
 }
 
+// OutOfCoreHandle reopens name as a pure out-of-core handle if (and only
+// if) Put persisted it in the block format. The Engine probes this after
+// a write-through Put so it can swap the registry binding from the
+// uploaded in-memory workload to the on-disk view and let the upload's
+// CSR be collected.
+func (s *DiskStore) OutOfCoreHandle(name string) (*Workload, bool, error) {
+	bp := s.blockPath(name)
+	if !fileExists(bp) {
+		return nil, false, nil
+	}
+	w, err := OpenOutOfCoreWorkload(bp, s.blockOpts()...)
+	if err != nil {
+		return nil, false, fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	return w, true, nil
+}
+
+func (s *DiskStore) blockOpts() []WorkloadOption {
+	if s.blockBuffered {
+		return []WorkloadOption{AsBlockBuffered()}
+	}
+	return nil
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
+}
+
 // Put implements GraphStore. The whole-graph serialization happens
 // before the store lock is taken — WriteWorkload walks every edge, and
 // holding the lock across it would stall every concurrent Get/Delete
 // behind one large upload. Only the atomic rename that publishes the
 // temp file runs under the lock, so concurrent Puts of one name still
 // serialize into complete, last-write-wins files.
+//
+// With WithBlockThreshold set, a workload whose estimated CSR footprint
+// exceeds the threshold is written in the block format instead; the
+// rename also removes the other format's stale file, so a name is always
+// stored exactly one way. Re-putting a pure out-of-core handle that this
+// store itself restored is a no-op — its block file IS the persisted
+// state; a pure handle from elsewhere cannot be serialized and errors.
 func (s *DiskStore) Put(name string, w *Workload) error {
+	if w != nil && w.Graph() == nil {
+		if fileExists(s.blockPath(name)) {
+			return nil
+		}
+		return fmt.Errorf("diskstore: %q: cannot persist a pure out-of-core workload with no block file in this store", name)
+	}
+	asBlock := s.blockThreshold > 0 && w != nil && estimatedCSRBytes(w) > s.blockThreshold
 	tmp, err := os.CreateTemp(s.dir, ".put-*")
 	if err != nil {
 		return fmt.Errorf("diskstore: %w", err)
 	}
-	if err := WriteWorkload(tmp, w); err != nil {
+	if asBlock {
+		err = w.writeBlockTo(tmp)
+	} else {
+		err = WriteWorkload(tmp, w)
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %q: %w", name, err)
@@ -214,21 +325,42 @@ func (s *DiskStore) Put(name string, w *Workload) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %q: %w", name, err)
 	}
+	dst, stale := s.path(name), s.blockPath(name)
+	if asBlock {
+		dst, stale = stale, dst
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	if err := os.Remove(stale); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("diskstore: %q: dropping stale %s: %w", name, filepath.Ext(stale), err)
 	}
 	return nil
 }
 
-// Delete implements GraphStore.
+// estimatedCSRBytes approximates the in-memory CSR footprint Put's
+// block-threshold decision compares against: offsets (8 bytes a vertex)
+// plus adjacency (4 bytes an edge slot) plus weights when present.
+func estimatedCSRBytes(w *Workload) int64 {
+	n, m := int64(w.N()), w.M()
+	b := 8*(n+1) + 4*m
+	if w.HasWeights() {
+		b += 4 * m
+	}
+	return b
+}
+
+// Delete implements GraphStore. Both formats are removed.
 func (s *DiskStore) Delete(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("diskstore: %q: %w", name, err)
+	for _, p := range []string{s.path(name), s.blockPath(name)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("diskstore: %q: %w", name, err)
+		}
 	}
 	return nil
 }

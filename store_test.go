@@ -8,6 +8,7 @@ package pushpull_test
 // propagate.
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"testing"
 
 	"pushpull"
+	"pushpull/internal/algo/pr"
 )
 
 // storeRoundTrip drives the GraphStore contract shared by every
@@ -285,5 +287,188 @@ func TestDiskStoreConcurrentPutDelete(t *testing.T) {
 	names, err := s.Names()
 	if err != nil || len(names) != 1 || names[0] != "contended" {
 		t.Fatalf("Names() after churn = %v, %v", names, err)
+	}
+}
+
+// TestDiskStoreBlockThreshold: a store with a memory budget persists
+// large graphs in the block format and serves them back as pure
+// out-of-core handles; small graphs keep the edge-list format; an
+// overwrite that crosses the threshold in either direction leaves
+// exactly one file per name.
+func TestDiskStoreBlockThreshold(t *testing.T) {
+	dir := t.TempDir()
+	s, err := pushpull.NewDiskStore(dir, pushpull.WithBlockThreshold(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigG := undirectedGraph(t, 500, 61)
+	big := pushpull.NewWorkload(bigG)
+	small := pushpull.NewWorkload(undirectedGraph(t, 10, 63))
+	if err := s.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("small", small); err != nil {
+		t.Fatal(err)
+	}
+	mustExist := func(name string, want bool) {
+		t.Helper()
+		_, err := os.Stat(filepath.Join(dir, name))
+		if got := err == nil; got != want {
+			t.Fatalf("%s exists=%v, want %v", name, got, want)
+		}
+	}
+	mustExist("big.blk", true)
+	mustExist("big.el", false)
+	mustExist("small.el", true)
+	mustExist("small.blk", false)
+
+	names, err := s.Names()
+	if err != nil || len(names) != 2 || names[0] != "big" || names[1] != "small" {
+		t.Fatalf("Names() = %v, %v", names, err)
+	}
+
+	// The reopened handle is pure out-of-core, shares the content ID of
+	// an in-memory AsOutOfCore declaration over the same graph (caches
+	// and shard placement survive the swap), and computes the same ranks.
+	got, err := s.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsOutOfCore() {
+		t.Fatal("past-threshold graph did not come back out-of-core")
+	}
+	if want := pushpull.NewWorkload(bigG, pushpull.AsOutOfCore()); got.ID() != want.ID() {
+		t.Fatalf("reopened handle ID %s != declared ooc ID %s", got.ID(), want.ID())
+	}
+	want := run(t, pushpull.NewWorkload(bigG), "pr", pushpull.WithDirection(pushpull.Pull)).Result.([]float64)
+	ranks := run(t, got, "pr").Result.([]float64)
+	if d := pr.MaxDiff(ranks, want); d > 1e-9 {
+		t.Fatalf("reopened block graph pr diverges: %g", d)
+	}
+
+	// OutOfCoreHandle: present for block-backed names only.
+	if _, ok, err := s.OutOfCoreHandle("big"); err != nil || !ok {
+		t.Fatalf("OutOfCoreHandle(big) = %v, %v", ok, err)
+	}
+	if _, ok, err := s.OutOfCoreHandle("small"); err != nil || ok {
+		t.Fatalf("OutOfCoreHandle(small) = %v, %v", ok, err)
+	}
+
+	if sg, err := s.Get("small"); err != nil || sg.IsOutOfCore() {
+		t.Fatalf("below-threshold graph: %v, ooc=%v", err, err == nil && sg.IsOutOfCore())
+	}
+
+	// Overwrites cross the threshold both ways; the stale format is gone.
+	if err := s.Put("big", small); err != nil {
+		t.Fatal(err)
+	}
+	mustExist("big.el", true)
+	mustExist("big.blk", false)
+	if err := s.Put("small", big); err != nil {
+		t.Fatal(err)
+	}
+	mustExist("small.blk", true)
+	mustExist("small.el", false)
+	if names, err = s.Names(); err != nil || len(names) != 2 {
+		t.Fatalf("Names() after overwrites = %v, %v", names, err)
+	}
+	if err := s.Delete("small"); err != nil {
+		t.Fatal(err)
+	}
+	mustExist("small.blk", false)
+	if _, err := s.Get("small"); err == nil {
+		t.Fatal("Get after Delete succeeded")
+	}
+}
+
+// TestDiskStoreBufferedBlocks: WithBufferedBlocks pins reopened handles
+// to the bounded-RSS ReadAt reader.
+func TestDiskStoreBufferedBlocks(t *testing.T) {
+	s, err := pushpull.NewDiskStore(t.TempDir(),
+		pushpull.WithBlockThreshold(1), pushpull.WithBufferedBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := undirectedGraph(t, 300, 67)
+	if err := s.Put("g", pushpull.NewWorkload(g)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := got.OutOfCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.Mmapped() {
+		t.Fatal("buffered store served an mmapped handle")
+	}
+	want := run(t, pushpull.NewWorkload(g), "pr", pushpull.WithDirection(pushpull.Pull)).Result.([]float64)
+	if d := pr.MaxDiff(run(t, got, "pr").Result.([]float64), want); d > 1e-9 {
+		t.Fatalf("buffered block graph pr diverges: %g", d)
+	}
+}
+
+// TestEngineOutOfCoreSwapAndRestore: registering a past-budget graph
+// swaps the in-memory binding for the store's block-backed handle — the
+// uploaded CSR becomes collectable — and a restart restores the same
+// out-of-core identity.
+func TestEngineOutOfCoreSwapAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *pushpull.DiskStore {
+		t.Helper()
+		s, err := pushpull.NewDiskStore(dir, pushpull.WithBlockThreshold(2048))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	g := undirectedGraph(t, 400, 71)
+	want := run(t, pushpull.NewWorkload(g), "pr", pushpull.WithDirection(pushpull.Pull)).Result.([]float64)
+
+	eng1 := pushpull.NewEngine()
+	if err := eng1.AttachStore(open()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.RegisterWorkload("big", pushpull.NewWorkload(g)); err != nil {
+		t.Fatal(err)
+	}
+	served, ok := eng1.Workload("big")
+	if !ok || !served.IsOutOfCore() {
+		t.Fatalf("registered binding: ok=%v, ooc=%v — engine did not swap to the block handle", ok, ok && served.IsOutOfCore())
+	}
+	rep, err := eng1.Run(context.Background(), served, "pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pr.MaxDiff(rep.Result.([]float64), want); d > 1e-9 {
+		t.Fatalf("swapped handle pr diverges: %g", d)
+	}
+
+	eng2 := pushpull.NewEngine()
+	if err := eng2.AttachStore(open()); err != nil {
+		t.Fatal(err)
+	}
+	restored, ok := eng2.Workload("big")
+	if !ok || !restored.IsOutOfCore() {
+		t.Fatal("restart lost the out-of-core binding")
+	}
+	if restored.ID() != served.ID() {
+		t.Fatalf("restart changed content identity: %s → %s", served.ID(), restored.ID())
+	}
+	rep, err = eng2.Run(context.Background(), restored, "pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pr.MaxDiff(rep.Result.([]float64), want); d > 1e-9 {
+		t.Fatalf("restored handle pr diverges: %g", d)
+	}
+	// Algorithms without block kernels reject the pure file handle loudly.
+	if _, err := eng2.Run(context.Background(), restored, "tc"); !errors.Is(err, pushpull.ErrOutOfCoreUnsupported) {
+		t.Fatalf("tc on pure ooc handle: %v, want ErrOutOfCoreUnsupported", err)
+	}
+	if ok, err := eng2.DropWorkload("big"); !ok || err != nil {
+		t.Fatalf("drop: %v, %v", ok, err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"os"
 	"sync"
 
 	"pushpull/internal/graph"
@@ -57,6 +58,13 @@ type Workload struct {
 	// hubK is the AsHubCached declaration: the hub-cache size k pull runs
 	// default to (0 = none, AutoHubCache = size picked from n).
 	hubK int
+	// outOfCore is the AsOutOfCore declaration: capable runs default to the
+	// block-sequential out-of-core kernels over the memoized block view.
+	outOfCore bool
+	// blockBuffered forces the buffered ReadAt reader over mmap — a
+	// machine-local I/O choice (it bounds the resident set to one block per
+	// worker), deliberately NOT part of the content identity.
+	blockBuffered bool
 
 	mu          sync.Mutex
 	transpose   *Graph
@@ -65,6 +73,7 @@ type Workload struct {
 	hubs        map[hubKey]*HubSplit
 	stats       *GraphStats
 	pa          map[int]*PAGraph
+	blk         *graph.BlockCSR
 	builds      WorkloadBuilds
 	id          string
 }
@@ -94,6 +103,9 @@ type WorkloadBuilds struct {
 	// HubSplits counts hub-split layout builds (one per distinct
 	// size/view combination).
 	HubSplits int
+	// BlockBuilds counts out-of-core block-view constructions (write the
+	// block file, reopen it mmap/buffered).
+	BlockBuilds int
 }
 
 // WorkloadOption declares one aspect of a workload's kind at construction.
@@ -143,6 +155,20 @@ func AsHubCached(k int) WorkloadOption {
 	}
 }
 
+// AsOutOfCore declares that runs should use the out-of-core block layout:
+// capable algorithms (pr, bfs) run their block-sequential pull kernels
+// over the memoized block view — the adjacency streams from disk through
+// mmap (or bounded buffers, see AsBlockBuffered) instead of being
+// resident — and report payloads identical to in-memory runs. Algorithms
+// without out-of-core support ignore the declaration.
+func AsOutOfCore() WorkloadOption { return func(w *Workload) { w.outOfCore = true } }
+
+// AsBlockBuffered forces the out-of-core block view to read segments
+// through per-worker buffers (os.File ReadAt) instead of mmap, bounding
+// the resident set to one block per worker. It is machine-local I/O
+// tuning, not part of the content identity.
+func AsBlockBuffered() WorkloadOption { return func(w *Workload) { w.blockBuffered = true } }
+
 // NewWorkload wraps g in a Workload handle. Without options the workload
 // is undirected and unweighted-tolerant — exactly what Run's bare-*Graph
 // auto-wrapping produces, except that the handle persists its memoized
@@ -173,20 +199,62 @@ func Partitioned(g *Graph, parts int, opts ...WorkloadOption) *Workload {
 	return NewWorkload(g, append([]WorkloadOption{AsPartitioned(parts)}, opts...)...)
 }
 
-// Graph returns the underlying graph (out-edges, for directed workloads).
+// OpenOutOfCoreWorkload opens a block-format file (written by
+// graph.WriteBlockFile or a DiskStore) as a pure out-of-core handle: no
+// in-memory CSR is materialized, ever — Graph() returns nil, the graph
+// kind comes from the file header, and only algorithms whose Caps report
+// OutOfCore support will run. The handle holds the file open (and
+// mmapped, unless AsBlockBuffered); Close releases it.
+func OpenOutOfCoreWorkload(path string, opts ...WorkloadOption) (*Workload, error) {
+	w := &Workload{outOfCore: true}
+	for _, opt := range opts {
+		opt(w)
+	}
+	var bopts []graph.BlockOpt
+	if w.blockBuffered {
+		bopts = append(bopts, graph.Buffered())
+	}
+	blk, err := graph.OpenBlockCSR(path, bopts...)
+	if err != nil {
+		return nil, err
+	}
+	w.blk = blk
+	w.directed = blk.Directed()
+	w.weightsDeclared = blk.Weighted()
+	return w, nil
+}
+
+// Graph returns the underlying graph (out-edges, for directed
+// workloads), or nil for a pure out-of-core handle that never
+// materializes one.
 func (w *Workload) Graph() *Graph { return w.g }
 
 // N returns the vertex count (satisfying Runnable).
-func (w *Workload) N() int { return w.g.N() }
+func (w *Workload) N() int {
+	if w.g == nil {
+		return w.blk.N()
+	}
+	return w.g.N()
+}
 
 // M returns the stored directed edge-slot count (satisfying Runnable).
-func (w *Workload) M() int64 { return w.g.M() }
+func (w *Workload) M() int64 {
+	if w.g == nil {
+		return w.blk.M()
+	}
+	return w.g.M()
+}
 
 // IsDirected reports whether the workload was declared directed.
 func (w *Workload) IsDirected() bool { return w.directed }
 
 // HasWeights reports whether the underlying graph carries edge weights.
-func (w *Workload) HasWeights() bool { return w.g.Weighted() }
+func (w *Workload) HasWeights() bool {
+	if w.g == nil {
+		return w.blk.Weighted()
+	}
+	return w.g.Weighted()
+}
 
 // WeightsDeclared reports whether the workload was constructed with
 // Weighted/AsWeighted — i.e. whether it promises weights to every run.
@@ -202,6 +270,25 @@ func (w *Workload) IsDegreeSorted() bool { return w.degreeSorted }
 // HubCacheK returns the AsHubCached declaration: 0 when none was made,
 // AutoHubCache for the automatic size, otherwise the explicit k.
 func (w *Workload) HubCacheK() int { return w.hubK }
+
+// IsOutOfCore reports whether runs default to the out-of-core block
+// kernels: either the handle was declared AsOutOfCore, or it is a pure
+// file handle with no in-memory graph at all.
+func (w *Workload) IsOutOfCore() bool { return w.outOfCore || w.g == nil }
+
+// Close releases the memoized out-of-core block view (the open file and
+// its mapping), if any. The workload must not Run afterwards. Handles
+// that never touched the out-of-core path close as a no-op.
+func (w *Workload) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.blk == nil {
+		return nil
+	}
+	blk := w.blk
+	w.blk = nil
+	return blk.Close()
+}
 
 // Transpose returns the in-edge view (the reverse CSR), building it on
 // first use and memoizing it for every later call. For an undirected
@@ -319,16 +406,104 @@ func (w *Workload) PA(parts int) *PAGraph {
 	return pa
 }
 
-// Stats returns the memoized Table 2 statistics of the graph.
+// Stats returns the memoized Table 2 statistics of the graph. A pure
+// out-of-core handle has no in-memory CSR to scan and returns the zero
+// statistics.
 func (w *Workload) Stats() GraphStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.g == nil {
+		return GraphStats{}
+	}
 	if w.stats == nil {
 		s := graph.ComputeStats(w.g)
 		w.stats = &s
 		w.builds.Stats++
 	}
 	return *w.stats
+}
+
+// OutOfCore returns the memoized block view the out-of-core kernels run
+// over, building it on first use: the pull-view CSR (the graph itself,
+// or the transpose for directed workloads) is serialized to a temporary
+// block file, reopened mmap-backed (or buffered, per AsBlockBuffered),
+// and immediately unlinked so the kernel-visible file lives exactly as
+// long as the handle. A pure file handle returns its already-open view.
+func (w *Workload) OutOfCore() (*graph.BlockCSR, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	//pushpull:allow lockheld first-build memoization under the handle lock by design: concurrent runs must share one block view, not race to write two temp files
+	return w.outOfCoreLocked()
+}
+
+func (w *Workload) outOfCoreLocked() (*graph.BlockCSR, error) {
+	if w.blk != nil {
+		return w.blk, nil
+	}
+	if w.g == nil {
+		return nil, fmt.Errorf("pushpull: out-of-core workload has no open block view")
+	}
+	pull := w.g
+	var outDeg []int64
+	if w.directed {
+		pull = w.transposeLocked()
+		n := w.g.N()
+		outDeg = make([]int64, n)
+		for v := 0; v < n; v++ {
+			outDeg[v] = w.g.Degree(graph.V(v))
+		}
+	}
+	f, err := os.CreateTemp("", "pushpull-blk-*")
+	if err != nil {
+		return nil, fmt.Errorf("pushpull: building block view: %w", err)
+	}
+	path := f.Name()
+	werr := graph.WriteBlock(f, pull, outDeg, 0)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("pushpull: building block view: %w", werr)
+	}
+	var bopts []graph.BlockOpt
+	if w.blockBuffered {
+		bopts = append(bopts, graph.Buffered())
+	}
+	blk, err := graph.OpenBlockCSR(path, bopts...)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	// Unlink-while-open: the open fd (and mapping) keeps the data alive,
+	// and nothing is left behind when the process dies.
+	os.Remove(path)
+	w.blk = blk
+	w.builds.BlockBuilds++
+	return blk, nil
+}
+
+// writeBlockTo serializes the workload's pull view in the on-disk block
+// format (the layout OpenOutOfCoreWorkload reads back). DiskStore uses it
+// to persist graphs above its block threshold directly in the out-of-core
+// layout, so a restore never has to materialize them.
+func (w *Workload) writeBlockTo(dst io.Writer) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.g == nil {
+		return fmt.Errorf("pushpull: pure out-of-core workload has no in-memory graph to serialize")
+	}
+	pull := w.g
+	var outDeg []int64
+	if w.directed {
+		pull = w.transposeLocked()
+		n := w.g.N()
+		outDeg = make([]int64, n)
+		for v := 0; v < n; v++ {
+			outDeg[v] = w.g.Degree(graph.V(v))
+		}
+	}
+	return graph.WriteBlock(dst, pull, outDeg, 0)
 }
 
 // ID returns the workload's stable content identity: a digest of the
@@ -349,6 +524,11 @@ func (w *Workload) ID() string {
 }
 
 // contentID hashes the CSR arrays and the kind flags (FNV-1a, 64-bit).
+// Out-of-core handles hash the PULL view (the graph itself when
+// undirected, the transpose when directed) — the arrays the block file
+// stores — so a handle declared AsOutOfCore in memory and the same graph
+// reopened from its block file share one identity: cached reports and
+// shard placements survive the materialized→out-of-core swap.
 func (w *Workload) contentID() string {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -356,17 +536,62 @@ func (w *Workload) contentID() string {
 		binary.LittleEndian.PutUint64(buf[:], x)
 		h.Write(buf[:])
 	}
-	g := w.g
-	put(uint64(g.N()))
-	put(uint64(g.M()))
-	for _, o := range g.Offsets {
-		put(uint64(o))
-	}
-	for _, v := range g.Adj {
-		put(uint64(v))
-	}
-	for _, wt := range g.Weights {
-		put(uint64(math.Float32bits(wt)))
+	ooc := w.outOfCore || w.g == nil
+	switch {
+	case !ooc:
+		g := w.g
+		put(uint64(g.N()))
+		put(uint64(g.M()))
+		for _, o := range g.Offsets {
+			put(uint64(o))
+		}
+		for _, v := range g.Adj {
+			put(uint64(v))
+		}
+		for _, wt := range g.Weights {
+			put(uint64(math.Float32bits(wt)))
+		}
+	case w.g != nil:
+		pull := w.g
+		if w.directed {
+			pull = w.transposeLocked()
+		}
+		put(uint64(w.g.N()))
+		put(uint64(w.g.M()))
+		for _, o := range pull.Offsets {
+			put(uint64(o))
+		}
+		for _, v := range pull.Adj {
+			put(uint64(v))
+		}
+		for _, wt := range pull.Weights {
+			put(uint64(math.Float32bits(wt)))
+		}
+	default:
+		// Pure file handle: stream the adjacency block-sequentially (two
+		// passes when weighted, matching the all-adj-then-all-weights hash
+		// order of the in-memory path). The file was validated at open; a
+		// read failure here degrades the digest, not correctness.
+		blk := w.blk
+		put(uint64(blk.N()))
+		put(uint64(blk.M()))
+		for _, o := range blk.Offsets {
+			put(uint64(o))
+		}
+		_ = blk.VisitBlocks(func(adj []graph.V, _ []float32) error {
+			for _, v := range adj {
+				put(uint64(v))
+			}
+			return nil
+		})
+		if blk.Weighted() {
+			_ = blk.VisitBlocks(func(_ []graph.V, ws []float32) error {
+				for _, wt := range ws {
+					put(uint64(math.Float32bits(wt)))
+				}
+				return nil
+			})
+		}
 	}
 	// The declared kind changes what a run computes (directed dispatch,
 	// the partition default), so it is part of the identity.
@@ -377,25 +602,29 @@ func (w *Workload) contentID() string {
 	if w.weightsDeclared {
 		kind |= 2
 	}
-	if g.Weighted() {
+	if w.HasWeights() {
 		kind |= 4
 	}
 	kind |= uint64(w.defaultParts) << 3
 	put(kind)
 	// The layout declarations change what a run computes over (the
-	// degree-sorted permutation, the hub split), so they are part of the
-	// identity too — but the word is folded only when one is set, keeping
-	// plain handles' IDs (and their DiskStore/shard placements) identical
-	// to releases that predate the options.
-	if w.degreeSorted || w.hubK != 0 {
+	// degree-sorted permutation, the hub split, the out-of-core block
+	// layout), so they are part of the identity too — but the word is
+	// folded only when one is set, keeping plain handles' IDs (and their
+	// DiskStore/shard placements) identical to releases that predate the
+	// options.
+	if w.degreeSorted || w.hubK != 0 || ooc {
 		var opt uint64 = 1
 		if w.degreeSorted {
 			opt |= 2
 		}
 		opt |= uint64(uint32(int32(w.hubK))) << 2
+		if ooc {
+			opt |= 1 << 34
+		}
 		put(opt)
 	}
-	return fmt.Sprintf("w%016x-n%d", h.Sum64(), g.N())
+	return fmt.Sprintf("w%016x-n%d", h.Sum64(), w.N())
 }
 
 // Builds reports how many derived-view constructions this workload has
@@ -430,6 +659,9 @@ func (w *Workload) Kind() string {
 			k += fmt.Sprintf(" hub-cached(%d)", w.hubK)
 		}
 	}
+	if w.IsOutOfCore() {
+		k += " out-of-core"
+	}
 	return k
 }
 
@@ -442,7 +674,7 @@ func resolveWorkload(on Runnable) (*Workload, error) {
 		if v == nil {
 			return nil, fmt.Errorf("pushpull: Run on nil workload")
 		}
-		if v.g == nil {
+		if v.g == nil && !v.outOfCore {
 			return nil, fmt.Errorf("pushpull: Run on workload with nil graph")
 		}
 		return v, nil
@@ -467,6 +699,9 @@ func resolveWorkload(on Runnable) (*Workload, error) {
 // reader's thread count, not the graph), so the loading side declares its
 // own via Partitioned/AsPartitioned.
 func WriteWorkload(dst io.Writer, w *Workload) error {
+	if w.g == nil {
+		return fmt.Errorf("pushpull: cannot serialize a pure out-of-core workload as an edge list (it lives in its block file)")
+	}
 	return graph.WriteEdgeListKind(dst, w.g, w.directed)
 }
 
